@@ -1,0 +1,76 @@
+// ccbench runs the Congested Clique engine's flood benchmark across a
+// set of clique sizes and writes a machine-readable BENCH_engine.json,
+// the perf baseline tracked across PRs.
+//
+// Usage:
+//
+//	ccbench [-o BENCH_engine.json] [-sizes 64,256,1024] [-rounds 32] [-fanout 64] [-short]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/paper-repo-growth/doryp20/internal/bench"
+)
+
+func parseSizes(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	sizes := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid clique size %q", p)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_engine.json", "output JSON path")
+	sizesFlag := flag.String("sizes", "64,256,1024", "comma-separated clique sizes")
+	rounds := flag.Int("rounds", 32, "send-rounds per configuration")
+	fanout := flag.Int("fanout", 64, "messages per node per round (clamped to n-1)")
+	short := flag.Bool("short", false, "smoke mode: tiny rounds/fanout for CI")
+	flag.Parse()
+
+	if *short {
+		*rounds = 4
+		*fanout = 8
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(2)
+	}
+
+	rep, err := bench.Run(sizes, *rounds, *fanout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "ccbench:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-8s %-8s %-8s %-14s %-14s %-10s\n",
+		"n", "fanout", "rounds", "rounds/s", "msgs/s", "ns/msg")
+	for _, r := range rep.Results {
+		fmt.Printf("%-8d %-8d %-8d %-14.0f %-14.0f %-10.2f\n",
+			r.N, r.Fanout, r.Rounds, r.RoundsPerSec, r.MsgsPerSec, r.NsPerMsg)
+	}
+	fmt.Println("wrote", *out)
+}

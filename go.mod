@@ -1,0 +1,3 @@
+module github.com/paper-repo-growth/doryp20
+
+go 1.22

@@ -1,0 +1,115 @@
+package algo
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+func testGraphs() map[string]*graph.CSR {
+	return map[string]*graph.CSR{
+		"gnp_sparse":   graph.RandomGNP(80, 0.04, 5),
+		"gnp_medium":   graph.RandomGNP(64, 0.1, 6),
+		"gnp_dense":    graph.RandomGNP(40, 0.5, 7),
+		"gnp_empty":    graph.RandomGNP(20, 0, 8),
+		"path":         graph.Path(50),
+		"clique":       graph.Clique(24),
+		"grid":         graph.Grid(8, 11),
+		"disconnected": graph.RandomGNP(60, 0.02, 9),
+		"tiny":         graph.Path(2),
+		"singleton":    graph.Path(1),
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	for name, g := range testGraphs() {
+		for _, src := range []core.NodeID{0, core.NodeID(g.N / 2), core.NodeID(g.N - 1)} {
+			got, stats, err := BFS(g, src, engine.Options{})
+			if err != nil {
+				t.Fatalf("%s src=%d: %v", name, src, err)
+			}
+			want := BFSRef(g, src)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s src=%d: BFS mismatch\n got %v\nwant %v", name, src, got, want)
+			}
+			// The flood needs eccentricity+2 rounds (last improvement,
+			// its broadcast, the quiet round); sanity-bound it.
+			if stats.Rounds > g.N+2 {
+				t.Errorf("%s src=%d: BFS took %d rounds for n=%d", name, src, stats.Rounds, g.N)
+			}
+		}
+	}
+}
+
+func TestBFSDifferentWorkerCounts(t *testing.T) {
+	g := graph.RandomGNP(70, 0.08, 12)
+	want := BFSRef(g, 3)
+	for _, workers := range []int{1, 2, 4, 16} {
+		got, _, err := BFS(g, 3, engine.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: BFS mismatch", workers)
+		}
+	}
+}
+
+func TestBellmanFordMatchesReference(t *testing.T) {
+	for name, g := range testGraphs() {
+		for wi, wg := range []*graph.CSR{
+			g.WithUniformRandomWeights(101, 10),
+			g.WithUniformRandomWeights(202, 1000),
+		} {
+			for _, src := range []core.NodeID{0, core.NodeID(g.N - 1)} {
+				got, _, err := BellmanFord(wg, src, engine.Options{})
+				if err != nil {
+					t.Fatalf("%s w%d src=%d: %v", name, wi, src, err)
+				}
+				want := BellmanFordRef(wg, src)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s w%d src=%d: BellmanFord mismatch\n got %v\nwant %v",
+						name, wi, src, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBellmanFordUnitWeightsEqualBFS(t *testing.T) {
+	g := graph.RandomGNP(60, 0.07, 33)
+	unit := g.WithUniformRandomWeights(1, 1) // maxW=1 => all weights 1
+	bf, _, err := BellmanFord(unit, 0, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs, _, err := BFS(g, 0, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bf, bfs) {
+		t.Error("unit-weight Bellman-Ford disagrees with BFS")
+	}
+}
+
+func TestAlgoInputValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, _, err := BFS(g, 99, engine.Options{}); err == nil {
+		t.Error("BFS accepted out-of-range source")
+	}
+	if _, _, err := BellmanFord(g, 0, engine.Options{}); err == nil {
+		t.Error("BellmanFord accepted unweighted graph")
+	}
+	wg := g.WithUniformRandomWeights(1, 5)
+	if _, _, err := BellmanFord(wg, -1, engine.Options{}); err == nil {
+		t.Error("BellmanFord accepted negative source")
+	}
+	bad := &graph.CSR{N: wg.N, Offsets: wg.Offsets, Targets: wg.Targets,
+		Weights: []int64{-1, 1, 1, 1, 1, 1}}
+	if _, _, err := BellmanFord(bad, 0, engine.Options{}); err == nil {
+		t.Error("BellmanFord accepted negative weight")
+	}
+}

@@ -1,0 +1,112 @@
+// Package bench drives reproducible throughput measurements of the
+// round engine and emits machine-readable results, so every future PR
+// can compare against this baseline (BENCH_engine.json).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+)
+
+// Result is one measured configuration.
+type Result struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	Fanout       int     `json:"fanout"`
+	Rounds       int     `json:"rounds"`
+	Messages     uint64  `json:"messages"`
+	Bytes        uint64  `json:"bytes"`
+	WallNs       int64   `json:"wall_ns"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	NsPerMsg     float64 `json:"ns_per_msg"`
+}
+
+// Report is the serialized shape of BENCH_engine.json.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	GoVersion string   `json:"go_version"`
+	Results   []Result `json:"results"`
+}
+
+// floodNode sends one word to each of its fanout ring successors every
+// round for a fixed number of rounds — a pure communication workload
+// that saturates the router without algorithmic noise.
+type floodNode struct {
+	n, fanout, rounds int
+}
+
+func (fn *floodNode) Round(ctx *engine.Ctx, r core.Round, inbox []engine.Message) error {
+	if int(r) >= fn.rounds {
+		return nil
+	}
+	id := int(ctx.ID())
+	for k := 1; k <= fn.fanout; k++ {
+		if err := ctx.Send(core.NodeID((id+k)%fn.n), uint64(id)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flood runs the flood workload on an n-node clique for the given
+// number of send-rounds with the given per-node fanout.
+func Flood(n, rounds, fanout int) (Result, error) {
+	if fanout >= n {
+		fanout = n - 1
+	}
+	nodes := make([]engine.Node, n)
+	for i := range nodes {
+		nodes[i] = &floodNode{n: n, fanout: fanout, rounds: rounds}
+	}
+	stats, err := engine.New(nodes, engine.Options{MaxRounds: rounds + 2}).Run()
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: flood n=%d: %w", n, err)
+	}
+	secs := stats.Wall.Seconds()
+	if secs <= 0 {
+		secs = float64(time.Nanosecond) / float64(time.Second)
+	}
+	res := Result{
+		Name:         "engine_flood",
+		N:            n,
+		Fanout:       fanout,
+		Rounds:       stats.Rounds,
+		Messages:     stats.TotalMsgs,
+		Bytes:        stats.TotalBytes,
+		WallNs:       stats.Wall.Nanoseconds(),
+		RoundsPerSec: float64(stats.Rounds) / secs,
+		MsgsPerSec:   float64(stats.TotalMsgs) / secs,
+	}
+	if stats.TotalMsgs > 0 {
+		res.NsPerMsg = float64(stats.Wall.Nanoseconds()) / float64(stats.TotalMsgs)
+	}
+	return res, nil
+}
+
+// Run measures the flood workload across the given clique sizes and
+// assembles the report.
+func Run(sizes []int, rounds, fanout int) (*Report, error) {
+	rep := &Report{
+		Schema:    "doryp20/bench/v1",
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+	for _, n := range sizes {
+		res, err := Flood(n, rounds, fanout)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+func TestFloodSmoke(t *testing.T) {
+	res, err := Flood(32, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMsgs := uint64(32 * 8 * 4)
+	if res.Messages != wantMsgs {
+		t.Errorf("Messages = %d, want %d", res.Messages, wantMsgs)
+	}
+	if res.Rounds != 5 { // 4 send-rounds + the quiet round
+		t.Errorf("Rounds = %d, want 5", res.Rounds)
+	}
+	if res.MsgsPerSec <= 0 || res.NsPerMsg <= 0 || res.RoundsPerSec <= 0 {
+		t.Errorf("non-positive rates: %+v", res)
+	}
+}
+
+func TestFloodFanoutClamp(t *testing.T) {
+	res, err := Flood(4, 2, 100) // fanout must clamp to n-1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fanout != 3 {
+		t.Errorf("Fanout = %d, want 3", res.Fanout)
+	}
+	if res.Messages != uint64(4*3*2) {
+		t.Errorf("Messages = %d, want 24", res.Messages)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	rep, err := Run([]int{16, 32}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.Results[0].N != 16 || rep.Results[1].N != 32 {
+		t.Errorf("unexpected results: %+v", rep.Results)
+	}
+	if rep.Schema == "" || rep.CPUs <= 0 {
+		t.Errorf("incomplete metadata: %+v", rep)
+	}
+}

@@ -1,1 +1,74 @@
+// Package core defines the shared model vocabulary for the Congested
+// Clique simulator that reproduces Dory & Parter (PODC 2020): node
+// identifiers, round counters, and the per-link bandwidth budget
+// B = O(log n) bits that the model imposes on every directed link in
+// every synchronous round.
+//
+// The Congested Clique is a fully connected synchronous message-passing
+// network of n nodes. In each round every ordered pair of nodes may
+// exchange at most B = O(log n) bits. All higher layers (the round
+// engine in internal/engine and the algorithms in internal/algo) speak
+// in terms of these types so that the bandwidth accounting is uniform.
 package core
+
+import "math/bits"
+
+// NodeID identifies a node in the clique. IDs are dense in [0, n).
+type NodeID int32
+
+// Round is a zero-based synchronous round counter.
+type Round int32
+
+// WordBits is the payload width of a single simulator message. A 64-bit
+// machine word is Theta(log n) bits for every feasible n (n <= 2^64),
+// so "one word per link per round" is the standard concrete reading of
+// the O(log n)-bits-per-link Congested Clique budget.
+const WordBits = 64
+
+// Budget describes the per-link, per-round bandwidth allowance of the
+// model. BitsPerLink is B; MsgBits is the number of bits charged for a
+// single message (payload word plus addressing is folded into the same
+// Theta(log n) word in this accounting).
+type Budget struct {
+	// BitsPerLink is the total number of bits a single directed link
+	// may carry in one round (the model's B).
+	BitsPerLink int
+	// MsgBits is the number of bits charged per message.
+	MsgBits int
+}
+
+// DefaultBudget returns the canonical Congested Clique budget for an
+// n-node instance: one Theta(log n)-bit word per directed link per
+// round, i.e. a link capacity of exactly one message.
+func DefaultBudget(n int) Budget {
+	_ = n // the 64-bit word dominates ceil(log2 n) for all feasible n
+	return Budget{BitsPerLink: WordBits, MsgBits: WordBits}
+}
+
+// MsgsPerLink converts the bit budget into a whole-message link
+// capacity. It is always at least 1: a budget too small to carry one
+// message would make the model vacuous, so we round up rather than
+// silently forbidding all communication.
+func (b Budget) MsgsPerLink() int {
+	if b.MsgBits <= 0 || b.BitsPerLink <= 0 {
+		return 1
+	}
+	m := b.BitsPerLink / b.MsgBits
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Log2Ceil returns ceil(log2(n)) for n >= 1, and 0 for n <= 1. It is
+// the bit length of n-1, which is the number of bits needed to address
+// one of n distinct values — the unit in which Congested Clique
+// bandwidth budgets are stated. Algorithm layers that pack node IDs
+// into message words (e.g. the Dory-Parter sparse matrix routing
+// stages) size their bit fields with it.
+func Log2Ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}

@@ -1,0 +1,258 @@
+// Package engine is a synchronous round-based Congested Clique
+// simulator engineered for throughput. Nodes implement the Node
+// interface; the engine runs all round handlers in parallel across a
+// fixed pool of persistent worker goroutines with a barrier between
+// rounds, routes messages through a sharded, double-buffered,
+// zero-allocation router (see router.go), enforces the model's
+// O(log n)-bit per-link bandwidth budget, and collects per-round stats.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// Node is one clique participant. Round is invoked exactly once per
+// synchronous round with the messages addressed to this node in the
+// previous round; messages sent via ctx are delivered at the start of
+// the next round. A handler runs on a single goroutine but concurrently
+// with other nodes' handlers, so it must not touch other nodes' state.
+type Node interface {
+	Round(ctx *Ctx, r core.Round, inbox []Message) error
+}
+
+// Options configures an Engine. The zero value selects sensible
+// defaults: GOMAXPROCS workers, the canonical one-word-per-link budget,
+// and a MaxRounds of 4n+64.
+type Options struct {
+	// Workers is the number of scheduler workers (and router shards).
+	// Defaults to runtime.GOMAXPROCS(0), clamped to n.
+	Workers int
+	// MaxRounds bounds the execution; Run returns ErrMaxRounds if the
+	// system has not quiesced by then. Defaults to 4n+64.
+	MaxRounds int
+	// Budget is the per-link bandwidth allowance. Zero value means
+	// core.DefaultBudget(n).
+	Budget core.Budget
+}
+
+// ErrMaxRounds is returned by Run when MaxRounds elapse before the
+// system quiesces (a round in which no node sends any message).
+var ErrMaxRounds = errors.New("engine: MaxRounds reached before quiescence")
+
+// RoundStats records one executed round.
+type RoundStats struct {
+	Round core.Round
+	Msgs  uint64
+	Bytes uint64
+	Wall  time.Duration
+}
+
+// Stats aggregates an entire run.
+type Stats struct {
+	Rounds     int
+	TotalMsgs  uint64
+	TotalBytes uint64
+	Wall       time.Duration
+	PerRound   []RoundStats
+}
+
+// Ctx is a node's handle to the communication substrate. One Ctx exists
+// per worker; the engine rebinds it to each node before invoking its
+// handler, so handlers must not retain it across rounds.
+type Ctx struct {
+	rt   *router
+	w    int
+	src  core.NodeID
+	sent uint64
+	n    int
+}
+
+// ID returns the node the context is currently bound to.
+func (c *Ctx) ID() core.NodeID { return c.src }
+
+// NumNodes returns the clique size n.
+func (c *Ctx) NumNodes() int { return c.n }
+
+// Send queues one payload word to dst for delivery next round. It
+// returns a *BandwidthError if the per-link budget for this round is
+// exhausted, or an error for an invalid destination (out of range or
+// self). The message is not queued when an error is returned.
+func (c *Ctx) Send(dst core.NodeID, payload uint64) error {
+	if err := c.rt.send(c.w, c.src, dst, payload); err != nil {
+		return err
+	}
+	c.sent++
+	return nil
+}
+
+// workerCmd sequences the two parallel phases of a round.
+type workerCmd uint8
+
+const (
+	cmdRunNodes workerCmd = iota
+	cmdScatter
+)
+
+// Engine runs a set of nodes under the Congested Clique round model.
+type Engine struct {
+	n       int
+	nodes   []Node
+	opts    Options
+	workers int
+	rt      *router
+	ctxs    []*Ctx
+	lo, hi  []int // node ranges per worker
+	errs    []error
+	round   core.Round
+}
+
+// New builds an engine over the given nodes. len(nodes) is the clique
+// size n; nodes[i] is the handler for NodeID i.
+func New(nodes []Node, opts Options) *Engine {
+	n := len(nodes)
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers > n && n > 0 {
+		opts.Workers = n
+	}
+	if n == 0 {
+		opts.Workers = 1
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = 4*n + 64
+	}
+	if opts.Budget == (core.Budget{}) {
+		opts.Budget = core.DefaultBudget(n)
+	}
+	w := opts.Workers
+	e := &Engine{
+		n:       n,
+		nodes:   nodes,
+		opts:    opts,
+		workers: w,
+		rt:      newRouter(n, w, w, opts.Budget),
+		ctxs:    make([]*Ctx, w),
+		lo:      make([]int, w),
+		hi:      make([]int, w),
+		errs:    make([]error, w),
+	}
+	for i := 0; i < w; i++ {
+		// Contiguous node ranges, aligned with the router's shard
+		// bounds so worker i also scatters shard i.
+		e.lo[i] = int(e.rt.bounds[i])
+		e.hi[i] = int(e.rt.bounds[i+1])
+		e.ctxs[i] = &Ctx{rt: e.rt, w: i, n: n}
+	}
+	return e
+}
+
+// runNodes executes phase A for worker w: invoke every owned node's
+// handler for the current round.
+func (e *Engine) runNodes(w int) {
+	ctx := e.ctxs[w]
+	r := e.round
+	for id := e.lo[w]; id < e.hi[w]; id++ {
+		ctx.src = core.NodeID(id)
+		if err := e.nodes[id].Round(ctx, r, e.rt.inbox[id]); err != nil {
+			e.errs[w] = fmt.Errorf("node %d round %d: %w", id, r, err)
+			return
+		}
+	}
+}
+
+// Run executes rounds until quiescence (a round in which zero messages
+// are sent), a node handler returns an error, or MaxRounds elapse
+// (ErrMaxRounds). The returned Stats are valid in all cases and cover
+// every executed round.
+func (e *Engine) Run() (*Stats, error) {
+	stats := &Stats{}
+	if e.n == 0 {
+		return stats, nil
+	}
+	defer e.rt.release()
+
+	// Persistent workers: one buffered command channel each, a shared
+	// WaitGroup as the phase barrier. No goroutine spawns and no
+	// channel allocations inside the round loop.
+	cmds := make([]chan workerCmd, e.workers)
+	var barrier sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		cmds[w] = make(chan workerCmd, 1)
+		go func(w int) {
+			for cmd := range cmds[w] {
+				switch cmd {
+				case cmdRunNodes:
+					e.runNodes(w)
+				case cmdScatter:
+					e.rt.scatterShard(w)
+				}
+				barrier.Done()
+			}
+		}(w)
+	}
+	defer func() {
+		for _, ch := range cmds {
+			close(ch)
+		}
+	}()
+
+	runStart := time.Now()
+	var prevSent uint64
+	for i := 0; i < e.opts.MaxRounds; i++ {
+		t0 := time.Now()
+
+		// Phase A: all round handlers in parallel.
+		barrier.Add(e.workers)
+		for _, ch := range cmds {
+			ch <- cmdRunNodes
+		}
+		barrier.Wait()
+		for _, err := range e.errs {
+			if err != nil {
+				stats.Wall = time.Since(runStart)
+				return stats, err
+			}
+		}
+
+		// Phase B: parallel scatter, shard s by worker s.
+		barrier.Add(e.workers)
+		for _, ch := range cmds {
+			ch <- cmdScatter
+		}
+		barrier.Wait()
+		e.rt.finishRound()
+
+		var sentTotal uint64
+		for _, c := range e.ctxs {
+			sentTotal += c.sent
+		}
+		roundMsgs := sentTotal - prevSent
+		prevSent = sentTotal
+
+		rs := RoundStats{
+			Round: e.round,
+			Msgs:  roundMsgs,
+			Bytes: roundMsgs * uint64(e.opts.Budget.MsgBits) / 8,
+			Wall:  time.Since(t0),
+		}
+		e.round++
+		stats.PerRound = append(stats.PerRound, rs)
+		stats.Rounds++
+		stats.TotalMsgs += rs.Msgs
+		stats.TotalBytes += rs.Bytes
+
+		if roundMsgs == 0 {
+			stats.Wall = time.Since(runStart)
+			return stats, nil
+		}
+	}
+	stats.Wall = time.Since(runStart)
+	return stats, ErrMaxRounds
+}

@@ -1,0 +1,159 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// ringNode forwards a token around the ring for a fixed number of hops.
+type ringNode struct {
+	n    int
+	hops int
+}
+
+func (rn *ringNode) Round(ctx *Ctx, r core.Round, inbox []Message) error {
+	if r == 0 && ctx.ID() == 0 {
+		return ctx.Send(1%core.NodeID(rn.n), 1)
+	}
+	for _, m := range inbox {
+		hop := m.Payload
+		if int(hop) >= rn.hops {
+			return nil
+		}
+		next := (ctx.ID() + 1) % core.NodeID(rn.n)
+		return ctx.Send(next, hop+1)
+	}
+	return nil
+}
+
+func TestRingToken(t *testing.T) {
+	const n, hops = 16, 40
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &ringNode{n: n, hops: hops}
+	}
+	stats, err := New(nodes, Options{MaxRounds: hops + 8}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalMsgs != hops {
+		t.Errorf("TotalMsgs = %d, want %d", stats.TotalMsgs, hops)
+	}
+	// hops send-rounds plus the final quiet round.
+	if stats.Rounds != hops+1 {
+		t.Errorf("Rounds = %d, want %d", stats.Rounds, hops+1)
+	}
+	if stats.TotalBytes != hops*core.WordBits/8 {
+		t.Errorf("TotalBytes = %d, want %d", stats.TotalBytes, hops*core.WordBits/8)
+	}
+	if len(stats.PerRound) != stats.Rounds {
+		t.Errorf("len(PerRound) = %d, want %d", len(stats.PerRound), stats.Rounds)
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	// Two nodes ping-pong forever; MaxRounds must stop them.
+	nodes := []Node{
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error {
+			return ctx.Send(1, uint64(r))
+		}),
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error { return nil }),
+	}
+	stats, err := New(nodes, Options{MaxRounds: 12}).Run()
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+	if stats.Rounds != 12 {
+		t.Errorf("Rounds = %d, want 12", stats.Rounds)
+	}
+}
+
+func TestHandlerErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	nodes := []Node{
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error { return nil }),
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error {
+			if r == 2 {
+				return boom
+			}
+			return ctx.Send(0, 0)
+		}),
+	}
+	_, err := New(nodes, Options{}).Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestEmptyEngine(t *testing.T) {
+	stats, err := New(nil, Options{}).Run()
+	if err != nil || stats.Rounds != 0 {
+		t.Fatalf("empty engine: stats=%+v err=%v", stats, err)
+	}
+}
+
+// echoNode broadcasts a deterministic function of its inbox; used to
+// check that inbox contents (including ordering) are identical across
+// runs and worker counts.
+type echoNode struct {
+	n     int
+	trace map[core.NodeID][]string
+	mu    *sync.Mutex
+}
+
+func (en *echoNode) Round(ctx *Ctx, r core.Round, inbox []Message) error {
+	en.mu.Lock()
+	en.trace[ctx.ID()] = append(en.trace[ctx.ID()], fmt.Sprint(r, inbox))
+	en.mu.Unlock()
+	if int(r) >= 4 {
+		return nil
+	}
+	id := int(ctx.ID())
+	for k := 1; k <= 3; k++ {
+		dst := core.NodeID((id + k*7) % en.n)
+		if dst == ctx.ID() {
+			continue
+		}
+		if err := ctx.Send(dst, uint64(id*1000+int(r)*10+k)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runEcho(t *testing.T, n, workers int) map[core.NodeID][]string {
+	t.Helper()
+	var mu sync.Mutex
+	trace := map[core.NodeID][]string{}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &echoNode{n: n, trace: trace, mu: &mu}
+	}
+	if _, err := New(nodes, Options{Workers: workers}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestDeterministicInboxOrder: because workers append in node-ID order
+// and the scatter drains worker buffers in index order, inbox contents
+// are a pure function of the algorithm — independent of scheduling and
+// of the worker count.
+func TestDeterministicInboxOrder(t *testing.T) {
+	base := runEcho(t, 53, 1)
+	for _, workers := range []int{2, 3, 8} {
+		got := runEcho(t, 53, workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("inbox traces differ between 1 worker and %d workers", workers)
+		}
+	}
+	again := runEcho(t, 53, 8)
+	if !reflect.DeepEqual(base, again) {
+		t.Fatal("inbox traces differ between identical runs")
+	}
+}

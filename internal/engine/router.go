@@ -1,0 +1,212 @@
+// The sharded message router is the performance core of the simulator.
+//
+// Layout: the n destination mailboxes are partitioned into S contiguous
+// shards. During a round, each of the W scheduler workers appends the
+// messages its nodes send into W x S private out-buffers (no locks, no
+// per-message allocation: the buffers are sync.Pool-backed slabs whose
+// capacity is retained across rounds). At the round barrier each shard
+// goroutine scatters the S-th column of that matrix into per-destination
+// inboxes it exclusively owns, again lock-free. Inboxes are
+// double-buffered: nodes read round r's inboxes while the scatter phase
+// fills round r+1's, and the two banks are swapped at finishRound.
+//
+// Bandwidth accounting: the Congested Clique allows B = O(log n) bits
+// per directed link per round. The router charges Budget.MsgBits per
+// message and rejects a send that would exceed the link capacity with a
+// *BandwidthError instead of silently dropping. The per-link counters
+// are epoch-stamped (one uint32 epoch + uint16 count per ordered pair)
+// so that resetting them between rounds is a single epoch increment,
+// not an O(n^2) clear.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// Message is a delivered simulator message: one Theta(log n)-bit
+// payload word plus its sender. The destination is implicit in which
+// inbox the message sits in.
+type Message struct {
+	Src     core.NodeID
+	Payload uint64
+}
+
+// outMsg is the in-flight representation inside the router's
+// out-buffers, which still needs the explicit destination.
+type outMsg struct {
+	dst     core.NodeID
+	src     core.NodeID
+	payload uint64
+}
+
+// slabCap is the initial capacity of a pooled out-buffer slab. 1024
+// messages x 16 bytes = 16 KiB, large enough that steady-state growth
+// is rare and small enough that idle shards are cheap.
+const slabCap = 1024
+
+var slabPool = sync.Pool{
+	New: func() any {
+		s := make([]outMsg, 0, slabCap)
+		return &s
+	},
+}
+
+// BandwidthError reports a send that exceeded the per-link, per-round
+// message budget.
+type BandwidthError struct {
+	Src, Dst core.NodeID
+	Round    core.Round
+	Cap      int
+}
+
+func (e *BandwidthError) Error() string {
+	return fmt.Sprintf("engine: bandwidth cap exceeded on link %d->%d in round %d (cap %d msgs/round)",
+		e.Src, e.Dst, e.Round, e.Cap)
+}
+
+// router owns all message storage for one engine instance. It is a
+// passive data structure: all parallelism (which worker appends where,
+// which goroutine scatters which shard) is orchestrated by the engine,
+// so every method here is allocation-free on the steady-state hot path.
+type router struct {
+	n       int
+	shards  int
+	budget  core.Budget
+	linkCap int
+
+	// bounds[s] is the first destination owned by shard s;
+	// shard s owns dsts in [bounds[s], bounds[s+1]).
+	bounds []int32
+
+	// out[w][s] holds messages appended by worker w for shard s.
+	out [][][]outMsg
+
+	// inbox is the bank nodes read this round; spare is the bank the
+	// scatter phase fills for next round. Swapped by finishRound.
+	inbox [][]Message
+	spare [][]Message
+
+	// Per-ordered-pair bandwidth accounting, epoch-stamped so a round
+	// change is an O(1) reset. Index is src*n + dst. Epochs wrap after
+	// 2^32 rounds; a false positive then would require a pair to be
+	// untouched for exactly 2^32 rounds, which we accept.
+	curEpoch uint32
+	epoch    []uint32
+	count    []uint16
+
+	round core.Round
+}
+
+func newRouter(n, workers, shards int, budget core.Budget) *router {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n && n > 0 {
+		shards = n
+	}
+	linkCap := budget.MsgsPerLink()
+	if linkCap > 65535 {
+		linkCap = 65535 // count is uint16; 64K msgs/link/round is far beyond any O(log n) budget
+	}
+	rt := &router{
+		n:       n,
+		shards:  shards,
+		budget:  budget,
+		linkCap: linkCap,
+		bounds:  make([]int32, shards+1),
+		out:     make([][][]outMsg, workers),
+		inbox:   make([][]Message, n),
+		spare:   make([][]Message, n),
+		epoch:   make([]uint32, n*n),
+		count:   make([]uint16, n*n),
+	}
+	for s := 0; s <= shards; s++ {
+		rt.bounds[s] = int32((s*n + shards - 1) / shards)
+	}
+	for w := range rt.out {
+		rt.out[w] = make([][]outMsg, shards)
+	}
+	rt.curEpoch = 1
+	return rt
+}
+
+// shardOf maps a destination to its owning shard, consistent with
+// bounds: for dst in [bounds[s], bounds[s+1]), shardOf(dst) == s.
+func (rt *router) shardOf(dst core.NodeID) int {
+	return int(dst) * rt.shards / rt.n
+}
+
+// send appends one message to worker w's buffer for the destination's
+// shard, enforcing the link budget. Callers must ensure that all sends
+// with a given src happen on a single goroutine (the engine runs each
+// node's handler on exactly one worker), which makes the per-src rows
+// of the accounting arrays data-race free without atomics.
+func (rt *router) send(w int, src, dst core.NodeID, payload uint64) error {
+	if dst < 0 || int(dst) >= rt.n || dst == src {
+		return fmt.Errorf("engine: invalid destination %d for sender %d (n=%d)", dst, src, rt.n)
+	}
+	idx := int(src)*rt.n + int(dst)
+	if rt.epoch[idx] != rt.curEpoch {
+		rt.epoch[idx] = rt.curEpoch
+		rt.count[idx] = 0
+	}
+	if int(rt.count[idx]) >= rt.linkCap {
+		return &BandwidthError{Src: src, Dst: dst, Round: rt.round, Cap: rt.linkCap}
+	}
+	rt.count[idx]++
+	s := rt.shardOf(dst)
+	buf := rt.out[w][s]
+	if buf == nil {
+		buf = *slabPool.Get().(*[]outMsg)
+	}
+	rt.out[w][s] = append(buf, outMsg{dst: dst, src: src, payload: payload})
+	return nil
+}
+
+// scatterShard drains every worker's buffer for shard s into the spare
+// inbox bank. Only one goroutine may run scatterShard(s) for a given s
+// per round; distinct shards touch disjoint destination ranges, so all
+// shards scatter in parallel without locks. Iterating workers in index
+// order (and each worker having appended its nodes in ID order) makes
+// inbox ordering fully deterministic regardless of scheduling.
+func (rt *router) scatterShard(s int) {
+	lo, hi := rt.bounds[s], rt.bounds[s+1]
+	for d := lo; d < hi; d++ {
+		rt.spare[d] = rt.spare[d][:0]
+	}
+	for w := range rt.out {
+		buf := rt.out[w][s]
+		for i := range buf {
+			m := &buf[i]
+			rt.spare[m.dst] = append(rt.spare[m.dst], Message{Src: m.src, Payload: m.payload})
+		}
+		if buf != nil {
+			rt.out[w][s] = buf[:0]
+		}
+	}
+}
+
+// finishRound swaps the inbox banks and advances the bandwidth epoch.
+// Must be called after every shard's scatterShard has completed.
+func (rt *router) finishRound() {
+	rt.inbox, rt.spare = rt.spare, rt.inbox
+	rt.curEpoch++
+	rt.round++
+}
+
+// release returns all out-buffer slabs to the pool. The router must not
+// be used afterwards.
+func (rt *router) release() {
+	for w := range rt.out {
+		for s := range rt.out[w] {
+			if buf := rt.out[w][s]; buf != nil {
+				buf = buf[:0]
+				slabPool.Put(&buf)
+				rt.out[w][s] = nil
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package graph provides an immutable CSR (compressed sparse row)
+// representation of undirected graphs together with deterministic
+// generators used by the Congested Clique engine and its benchmarks.
+//
+// A CSR stores, for each vertex v, a contiguous sorted slice of
+// neighbor IDs (and optionally per-arc weights). Undirected edges are
+// stored as two directed arcs, so len(Targets) == 2|E|. The layout is
+// cache-friendly for the scan-all-neighbors access pattern of BFS and
+// Bellman-Ford and is never mutated after construction, which makes it
+// safe to share across the engine's worker goroutines without locks.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// CSR is an immutable compressed-sparse-row undirected graph.
+type CSR struct {
+	// N is the number of vertices; IDs are dense in [0, N).
+	N int
+	// Offsets has length N+1; the arcs of vertex v occupy
+	// Targets[Offsets[v]:Offsets[v+1]], sorted by target ID.
+	Offsets []int32
+	// Targets holds the arc heads. len(Targets) == 2|E|.
+	Targets []core.NodeID
+	// Weights is nil for unweighted graphs; otherwise it parallels
+	// Targets and is symmetric: weight(u,v) == weight(v,u).
+	Weights []int64
+}
+
+// NumArcs returns the number of directed arcs (2|E| for an undirected
+// graph).
+func (g *CSR) NumArcs() int { return len(g.Targets) }
+
+// NumEdges returns the number of undirected edges |E|.
+func (g *CSR) NumEdges() int { return len(g.Targets) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *CSR) Degree(v core.NodeID) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the sorted neighbor slice of v. The returned slice
+// aliases the CSR's internal storage and must not be modified.
+func (g *CSR) Neighbors(v core.NodeID) []core.NodeID {
+	return g.Targets[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NeighborWeights returns the weight slice parallel to Neighbors(v).
+// It panics if the graph is unweighted.
+func (g *CSR) NeighborWeights(v core.NodeID) []int64 {
+	if g.Weights == nil {
+		panic("graph: NeighborWeights on unweighted CSR")
+	}
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// Weighted reports whether the graph carries arc weights.
+func (g *CSR) Weighted() bool { return g.Weights != nil }
+
+// Validate checks the CSR structural invariants. It is intended for
+// tests and generator debugging, not hot paths.
+func (g *CSR) Validate() error {
+	if len(g.Offsets) != g.N+1 {
+		return fmt.Errorf("graph: len(Offsets)=%d, want N+1=%d", len(g.Offsets), g.N+1)
+	}
+	if g.Offsets[0] != 0 || int(g.Offsets[g.N]) != len(g.Targets) {
+		return fmt.Errorf("graph: offset endpoints [%d,%d] do not span %d targets",
+			g.Offsets[0], g.Offsets[g.N], len(g.Targets))
+	}
+	if g.Weights != nil && len(g.Weights) != len(g.Targets) {
+		return fmt.Errorf("graph: len(Weights)=%d, want %d", len(g.Weights), len(g.Targets))
+	}
+	for v := 0; v < g.N; v++ {
+		if g.Offsets[v] > g.Offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		nbrs := g.Neighbors(core.NodeID(v))
+		for i, u := range nbrs {
+			if u < 0 || int(u) >= g.N {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, u)
+			}
+			if int(u) == v {
+				return fmt.Errorf("graph: vertex %d has a self-loop", v)
+			}
+			if i > 0 && nbrs[i-1] >= u {
+				return fmt.Errorf("graph: vertex %d neighbors not strictly sorted", v)
+			}
+		}
+	}
+	return nil
+}
+
+// fromUndirectedEdges packs a list of undirected edges {u,v}, u != v,
+// no duplicates, into a CSR with both arc directions, neighbors sorted.
+func fromUndirectedEdges(n int, edges [][2]core.NodeID) *CSR {
+	deg := make([]int32, n+1)
+	for _, e := range edges {
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v+1]
+	}
+	targets := make([]core.NodeID, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		targets[cursor[u]] = v
+		cursor[u]++
+		targets[cursor[v]] = u
+		cursor[v]++
+	}
+	g := &CSR{N: n, Offsets: offsets, Targets: targets}
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(core.NodeID(v))
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+	}
+	return g
+}
+
+// RandomGNP generates a deterministic Erdos-Renyi G(n,p) graph: each of
+// the n*(n-1)/2 unordered vertex pairs is an edge independently with
+// probability p, drawn from a PRNG seeded with seed. The same
+// (n, p, seed) triple always yields the identical graph.
+func RandomGNP(n int, p float64, seed int64) *CSR {
+	if n < 0 {
+		panic("graph: negative n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]core.NodeID
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				edges = append(edges, [2]core.NodeID{core.NodeID(u), core.NodeID(v)})
+			}
+		}
+	}
+	return fromUndirectedEdges(n, edges)
+}
+
+// Path generates the path graph 0-1-2-...-(n-1).
+func Path(n int) *CSR {
+	edges := make([][2]core.NodeID, 0, max(0, n-1))
+	for v := 0; v+1 < n; v++ {
+		edges = append(edges, [2]core.NodeID{core.NodeID(v), core.NodeID(v + 1)})
+	}
+	return fromUndirectedEdges(n, edges)
+}
+
+// Clique generates the complete graph K_n.
+func Clique(n int) *CSR {
+	edges := make([][2]core.NodeID, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			edges = append(edges, [2]core.NodeID{core.NodeID(u), core.NodeID(v)})
+		}
+	}
+	return fromUndirectedEdges(n, edges)
+}
+
+// Grid generates the rows x cols grid graph with vertices numbered in
+// row-major order.
+func Grid(rows, cols int) *CSR {
+	n := rows * cols
+	var edges [][2]core.NodeID
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := core.NodeID(r*cols + c)
+			if c+1 < cols {
+				edges = append(edges, [2]core.NodeID{v, v + 1})
+			}
+			if r+1 < rows {
+				edges = append(edges, [2]core.NodeID{v, v + core.NodeID(cols)})
+			}
+		}
+	}
+	return fromUndirectedEdges(n, edges)
+}
+
+// WithUniformRandomWeights returns a copy of g carrying deterministic
+// symmetric integer weights in [1, maxW]. The weight of edge {u,v} is a
+// pure function of (seed, min(u,v), max(u,v)), so both arc directions
+// agree and regeneration is reproducible without storing edge order.
+func (g *CSR) WithUniformRandomWeights(seed int64, maxW int64) *CSR {
+	if maxW < 1 {
+		panic("graph: maxW must be >= 1")
+	}
+	w := make([]int64, len(g.Targets))
+	for v := 0; v < g.N; v++ {
+		lo, hi := g.Offsets[v], g.Offsets[v+1]
+		for i := lo; i < hi; i++ {
+			u := g.Targets[i]
+			a, b := core.NodeID(v), u
+			if a > b {
+				a, b = b, a
+			}
+			w[i] = 1 + int64(splitmix64(uint64(seed)^(uint64(a)<<32|uint64(uint32(b))))%uint64(maxW))
+		}
+	}
+	return &CSR{N: g.N, Offsets: g.Offsets, Targets: g.Targets, Weights: w}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 PRNG, used as a cheap
+// deterministic hash for per-edge weight derivation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

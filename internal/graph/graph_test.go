@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+func allGraphs() map[string]*CSR {
+	return map[string]*CSR{
+		"gnp_sparse": RandomGNP(64, 0.05, 1),
+		"gnp_dense":  RandomGNP(48, 0.5, 2),
+		"path":       Path(33),
+		"clique":     Clique(17),
+		"grid":       Grid(7, 9),
+		"empty":      RandomGNP(10, 0, 3),
+		"singleton":  Path(1),
+		"null":       Path(0),
+	}
+}
+
+func TestValidateAll(t *testing.T) {
+	for name, g := range allGraphs() {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDegreeSum(t *testing.T) {
+	for name, g := range allGraphs() {
+		sum := 0
+		for v := 0; v < g.N; v++ {
+			sum += g.Degree(core.NodeID(v))
+		}
+		if sum != g.NumArcs() {
+			t.Errorf("%s: degree sum %d != NumArcs %d", name, sum, g.NumArcs())
+		}
+		if sum != 2*g.NumEdges() {
+			t.Errorf("%s: degree sum %d != 2|E| = %d", name, sum, 2*g.NumEdges())
+		}
+		if g.NumArcs()%2 != 0 {
+			t.Errorf("%s: odd arc count %d for undirected graph", name, g.NumArcs())
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := RandomGNP(100, 0.1, 42)
+	b := RandomGNP(100, 0.1, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same (n,p,seed) produced different graphs")
+	}
+	c := RandomGNP(100, 0.1, 43)
+	if reflect.DeepEqual(a.Targets, c.Targets) {
+		t.Error("different seeds produced identical edge sets (astronomically unlikely)")
+	}
+}
+
+// TestRoundTripAdjacency rebuilds an adjacency-list reference directly
+// from the generator's edge semantics and checks CSR iteration matches.
+func TestRoundTripAdjacency(t *testing.T) {
+	g := RandomGNP(80, 0.15, 7)
+	// Reference adjacency matrix from CSR arcs.
+	adj := make([][]bool, g.N)
+	for i := range adj {
+		adj[i] = make([]bool, g.N)
+	}
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Neighbors(core.NodeID(v)) {
+			adj[v][u] = true
+		}
+	}
+	// Symmetry: u in N(v) iff v in N(u).
+	for v := 0; v < g.N; v++ {
+		for u := 0; u < g.N; u++ {
+			if adj[v][u] != adj[u][v] {
+				t.Fatalf("asymmetric adjacency at (%d,%d)", v, u)
+			}
+		}
+	}
+	// Neighbor lists are strictly sorted => no duplicate arcs; combined
+	// with symmetry and Validate's no-self-loop check, each undirected
+	// edge appears exactly twice.
+	count := 0
+	for v := 0; v < g.N; v++ {
+		for u := v + 1; u < g.N; u++ {
+			if adj[v][u] {
+				count++
+			}
+		}
+	}
+	if count != g.NumEdges() {
+		t.Errorf("distinct pair count %d != NumEdges %d", count, g.NumEdges())
+	}
+}
+
+func TestStructuredGenerators(t *testing.T) {
+	p := Path(5)
+	wantDeg := []int{1, 2, 2, 2, 1}
+	for v, w := range wantDeg {
+		if d := p.Degree(core.NodeID(v)); d != w {
+			t.Errorf("Path(5) degree(%d) = %d, want %d", v, d, w)
+		}
+	}
+	k := Clique(9)
+	for v := 0; v < 9; v++ {
+		if d := k.Degree(core.NodeID(v)); d != 8 {
+			t.Errorf("Clique(9) degree(%d) = %d, want 8", v, d)
+		}
+	}
+	if k.NumEdges() != 36 {
+		t.Errorf("Clique(9) edges = %d, want 36", k.NumEdges())
+	}
+	gr := Grid(3, 4)
+	if gr.NumEdges() != 3*3+2*4 { // rows*(cols-1) + (rows-1)*cols
+		t.Errorf("Grid(3,4) edges = %d, want 17", gr.NumEdges())
+	}
+	// Corner vertex 0 has exactly neighbors 1 and 4.
+	if got := gr.Neighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Errorf("Grid(3,4) neighbors(0) = %v, want [1 4]", got)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g := RandomGNP(60, 0.2, 11)
+	wg := g.WithUniformRandomWeights(99, 1000)
+	if err := wg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !wg.Weighted() || g.Weighted() {
+		t.Fatal("Weighted flags wrong")
+	}
+	// Deterministic.
+	wg2 := g.WithUniformRandomWeights(99, 1000)
+	if !reflect.DeepEqual(wg.Weights, wg2.Weights) {
+		t.Error("same seed produced different weights")
+	}
+	// Symmetric and in range.
+	wOf := func(u, v core.NodeID) int64 {
+		nbrs, ws := wg.Neighbors(u), wg.NeighborWeights(u)
+		for i, x := range nbrs {
+			if x == v {
+				return ws[i]
+			}
+		}
+		t.Fatalf("edge (%d,%d) not found", u, v)
+		return 0
+	}
+	for v := 0; v < wg.N; v++ {
+		nbrs, ws := wg.Neighbors(core.NodeID(v)), wg.NeighborWeights(core.NodeID(v))
+		for i, u := range nbrs {
+			if ws[i] < 1 || ws[i] > 1000 {
+				t.Fatalf("weight %d out of [1,1000]", ws[i])
+			}
+			if back := wOf(u, core.NodeID(v)); back != ws[i] {
+				t.Fatalf("asymmetric weight (%d,%d): %d vs %d", v, u, ws[i], back)
+			}
+		}
+	}
+}
