@@ -1,16 +1,24 @@
-// ccbench runs the Congested Clique engine's flood benchmark across a
-// set of clique sizes and writes a machine-readable BENCH_engine.json,
-// the perf baseline tracked across PRs.
+// ccbench runs the Congested Clique benchmark suite — the engine flood
+// workload and the matmul distance-product workload — and writes the
+// machine-readable perf baselines tracked across PRs
+// (BENCH_engine.json, BENCH_matmul.json).
 //
 // Usage:
 //
-//	ccbench [-o BENCH_engine.json] [-sizes 64,256,1024] [-rounds 32] [-fanout 64] [-short]
+//	ccbench [-o BENCH_engine.json] [-sizes 64,256,1024] [-rounds 32] [-fanout 64]
+//	        [-matmul-o BENCH_matmul.json] [-matmul-sizes 64,256] [-matmul-p 0.1]
+//	        [-short]
+//
+// Unknown flags or stray positional arguments are an error: ccbench
+// exits with status 2 and a usage message rather than silently running
+// defaults.
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -18,7 +26,13 @@ import (
 	"github.com/paper-repo-growth/doryp20/internal/bench"
 )
 
+// parseSizes parses a comma-separated clique size list. An empty (or
+// all-whitespace) list is valid and returns nil: it means "skip this
+// workload".
 func parseSizes(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
 	parts := strings.Split(s, ",")
 	sizes := make([]int, 0, len(parts))
 	for _, p := range parts {
@@ -31,46 +45,101 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
-func main() {
-	out := flag.String("o", "BENCH_engine.json", "output JSON path")
-	sizesFlag := flag.String("sizes", "64,256,1024", "comma-separated clique sizes")
-	rounds := flag.Int("rounds", 32, "send-rounds per configuration")
-	fanout := flag.Int("fanout", 64, "messages per node per round (clamped to n-1)")
-	short := flag.Bool("short", false, "smoke mode: tiny rounds/fanout for CI")
-	flag.Parse()
+// run is the testable body of main: it parses args, runs both
+// workloads, and writes both reports, returning the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "BENCH_engine.json", "engine report output path")
+	sizesFlag := fs.String("sizes", "64,256,1024", "comma-separated clique sizes for the flood workload (empty skips it)")
+	rounds := fs.Int("rounds", 32, "send-rounds per flood configuration")
+	fanout := fs.Int("fanout", 64, "messages per node per round (clamped to n-1)")
+	matmulOut := fs.String("matmul-o", "BENCH_matmul.json", "matmul report output path")
+	matmulSizes := fs.String("matmul-sizes", "64,256", "comma-separated clique sizes for the distance-product workload (empty skips it)")
+	matmulP := fs.Float64("matmul-p", 0.1, "G(n,p) edge probability for the distance-product workload")
+	short := fs.Bool("short", false, "smoke mode: tiny workloads for CI")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0 // -h / -help is a successful help request
+		}
+		// flag has already printed the error and usage to stderr.
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ccbench: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return 2
+	}
 
 	if *short {
-		*rounds = 4
-		*fanout = 8
+		// Shrink only the knobs the user did not set explicitly.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["rounds"] {
+			*rounds = 4
+		}
+		if !set["fanout"] {
+			*fanout = 8
+		}
+		if !set["matmul-sizes"] {
+			*matmulSizes = "32,64"
+		}
 	}
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccbench:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 2
 	}
-
-	rep, err := bench.Run(sizes, *rounds, *fanout)
+	msizes, err := parseSizes(*matmulSizes)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccbench:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 2
+	}
+	if !(*matmulP > 0 && *matmulP <= 1) { // negated form also rejects NaN
+		fmt.Fprintf(stderr, "ccbench: -matmul-p %v outside (0, 1]\n", *matmulP)
+		return 2
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ccbench:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "ccbench:", err)
-		os.Exit(1)
+	if len(sizes) > 0 {
+		rep, err := bench.Run(sizes, *rounds, *fanout)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		if err := bench.WriteJSON(*out, rep); err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-8s %-8s %-8s %-14s %-14s %-10s\n",
+			"n", "fanout", "rounds", "rounds/s", "msgs/s", "ns/msg")
+		for _, r := range rep.Results {
+			fmt.Fprintf(stdout, "%-8d %-8d %-8d %-14.0f %-14.0f %-10.2f\n",
+				r.N, r.Fanout, r.Rounds, r.RoundsPerSec, r.MsgsPerSec, r.NsPerMsg)
+		}
+		fmt.Fprintln(stdout, "wrote", *out)
 	}
 
-	fmt.Printf("%-8s %-8s %-8s %-14s %-14s %-10s\n",
-		"n", "fanout", "rounds", "rounds/s", "msgs/s", "ns/msg")
-	for _, r := range rep.Results {
-		fmt.Printf("%-8d %-8d %-8d %-14.0f %-14.0f %-10.2f\n",
-			r.N, r.Fanout, r.Rounds, r.RoundsPerSec, r.MsgsPerSec, r.NsPerMsg)
+	if len(msizes) > 0 {
+		mrep, err := bench.RunMatmul(msizes, *matmulP, 1)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		if err := bench.WriteJSON(*matmulOut, mrep); err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-8s %-8s %-10s %-10s %-8s %-12s %-10s\n",
+			"n", "p", "nnz_in", "nnz_out", "rounds", "msgs", "ns/msg")
+		for _, r := range mrep.Results {
+			fmt.Fprintf(stdout, "%-8d %-8.2f %-10d %-10d %-8d %-12d %-10.2f\n",
+				r.N, r.P, r.NNZIn, r.NNZOut, r.Rounds, r.Messages, r.NsPerMsg)
+		}
+		fmt.Fprintln(stdout, "wrote", *matmulOut)
 	}
-	fmt.Println("wrote", *out)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCC(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestUnknownFlagExitsNonZero is the regression test for the silent-
+// defaults bug: an unknown flag must exit 2 with a usage message, not
+// run the benchmark.
+func TestUnknownFlagExitsNonZero(t *testing.T) {
+	code, _, stderr := runCC(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "flag provided") {
+		t.Fatalf("stderr lacks usage/diagnostic:\n%s", stderr)
+	}
+}
+
+// TestHelpExitsZero: -h is a successful help request, not an error.
+func TestHelpExitsZero(t *testing.T) {
+	code, _, stderr := runCC(t, "-h")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	if !strings.Contains(stderr, "Usage") {
+		t.Fatalf("stderr lacks usage:\n%s", stderr)
+	}
+}
+
+// TestStrayArgumentsExitNonZero: positional arguments were previously
+// ignored; they must now be rejected.
+func TestStrayArgumentsExitNonZero(t *testing.T) {
+	code, _, stderr := runCC(t, "bogus-positional")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected arguments: bogus-positional") {
+		t.Fatalf("stderr lacks the stray-argument diagnostic:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "Usage") {
+		t.Fatalf("stderr lacks usage:\n%s", stderr)
+	}
+}
+
+func TestBadSizeExitsNonZero(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sizes", "64,potato"},
+		{"-sizes", "1"},
+		{"-matmul-sizes", "0"},
+		{"-matmul-p", "1.5"},
+		{"-matmul-p", "NaN"},
+	} {
+		code, _, stderr := runCC(t, args...)
+		if code != 2 {
+			t.Fatalf("args %v: exit code = %d, want 2 (stderr: %s)", args, code, stderr)
+		}
+	}
+}
+
+// TestShortRunWritesBothReports runs the full smoke path end to end and
+// checks both artifacts land where pointed.
+func TestShortRunWritesBothReports(t *testing.T) {
+	dir := t.TempDir()
+	engPath := filepath.Join(dir, "eng.json")
+	mmPath := filepath.Join(dir, "mm.json")
+	code, stdout, stderr := runCC(t,
+		"-short", "-sizes", "16,32", "-o", engPath, "-matmul-o", mmPath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	for _, p := range []string{engPath, mmPath} {
+		if !strings.Contains(stdout, "wrote "+p) {
+			t.Errorf("stdout does not report writing %s:\n%s", p, stdout)
+		}
+	}
+}
+
+// TestShortRespectsExplicitFlags: -short shrinks only the knobs the
+// user left at their defaults; an explicit -matmul-sizes wins.
+func TestShortRespectsExplicitFlags(t *testing.T) {
+	dir := t.TempDir()
+	mmPath := filepath.Join(dir, "mm.json")
+	code, _, stderr := runCC(t,
+		"-short", "-sizes", "16", "-matmul-sizes", "24",
+		"-o", filepath.Join(dir, "eng.json"), "-matmul-o", mmPath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(mmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			N int `json:"n"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].N != 24 {
+		t.Fatalf("explicit -matmul-sizes 24 ignored under -short: %+v", rep.Results)
+	}
+}
+
+// TestEmptySizesSkipsWorkload: an empty size list means "skip that
+// workload" — here the flood runs alone and no matmul report is
+// written (so a tracked baseline cannot be clobbered by accident).
+func TestEmptySizesSkipsWorkload(t *testing.T) {
+	dir := t.TempDir()
+	engPath := filepath.Join(dir, "eng.json")
+	mmPath := filepath.Join(dir, "mm.json")
+	code, stdout, stderr := runCC(t,
+		"-short", "-sizes", "16", "-matmul-sizes", "", "-o", engPath, "-matmul-o", mmPath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+engPath) {
+		t.Fatalf("flood report not written:\n%s", stdout)
+	}
+	if _, err := os.Stat(mmPath); !os.IsNotExist(err) {
+		t.Fatalf("matmul report written despite empty -matmul-sizes (err=%v)", err)
+	}
+}
+
+func TestUnwritableOutputExitsOne(t *testing.T) {
+	code, _, stderr := runCC(t, "-short", "-sizes", "16",
+		"-o", filepath.Join(t.TempDir(), "no", "such", "dir.json"))
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+}

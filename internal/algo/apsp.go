@@ -1,0 +1,157 @@
+package algo
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/matmul"
+)
+
+// accumulate folds one product's engine stats into a running total.
+// Per-round detail is deliberately dropped: round numbers restart at
+// zero for every product, so concatenating them would mislead.
+func accumulate(total *engine.Stats, s *engine.Stats) {
+	if s == nil {
+		return
+	}
+	total.Rounds += s.Rounds
+	total.TotalMsgs += s.TotalMsgs
+	total.TotalBytes += s.TotalBytes
+	total.Wall += s.Wall
+}
+
+// distMatrix converts a (min,+) matrix of distances into dense rows
+// with the package's Unreached sentinel for absent (infinite) entries.
+func distMatrix(m *matmul.Matrix) [][]int64 {
+	out := make([][]int64, m.N)
+	for v := 0; v < m.N; v++ {
+		row := make([]int64, m.N)
+		for j := range row {
+			row[j] = Unreached
+		}
+		cols, vals := m.Row(core.NodeID(v))
+		for i, j := range cols {
+			if vals[i] < core.InfWeight {
+				row[j] = vals[i]
+			}
+		}
+		out[v] = row
+	}
+	return out
+}
+
+// APSP computes exact all-pairs shortest-path distances on a weighted g
+// (non-negative integer weights) by distance-product repeated squaring
+// over the round engine: D_1 = A (the reflexive (min,+) adjacency
+// matrix), D_2h = D_h ⊗ D_h, stopping once the hop horizon reaches n-1.
+// Overshooting the horizon is harmless — the reflexive power has
+// stabilized — so exactly ceil(log2(n-1)) engine products run, the
+// algebraic skeleton of the Dory-Parter pipeline, where sparsified
+// products and hopsets shrink each product's cost further. Distances
+// are returned as dense rows with Unreached for disconnected pairs, and
+// the stats aggregate every product's rounds and routed words.
+func APSP(g *graph.CSR, opts engine.Options) ([][]int64, *engine.Stats, error) {
+	a, err := minplusAdjacency(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &engine.Stats{}
+	mopts := matmul.Options{Engine: opts}
+	d := a
+	for span := 1; span < g.N-1; span *= 2 {
+		var s *engine.Stats
+		d, s, err = matmul.Mul(d, d, mopts)
+		accumulate(stats, s)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+	return distMatrix(d), stats, nil
+}
+
+// HopLimitedDistances computes the truncated distance matrix d^h:
+// d^h(u,v) is the minimum weight of a u-v path with at most h edges,
+// or Unreached if no such path exists. This is the paper's h-hop
+// distance operator — the object hopsets exist to shrink h for — and it
+// equals the h-th (min,+) power of the reflexive adjacency matrix,
+// computed here by square-and-multiply in O(log h) engine products.
+func HopLimitedDistances(g *graph.CSR, h int, opts engine.Options) ([][]int64, *engine.Stats, error) {
+	if h < 0 {
+		return nil, nil, fmt.Errorf("algo: negative hop bound %d", h)
+	}
+	d, stats, err := minplusPower(g, h, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	return distMatrix(d), stats, nil
+}
+
+// minplusAdjacency validates g and builds its reflexive (min,+)
+// adjacency matrix, the shared starting point of every distance-product
+// pipeline here.
+func minplusAdjacency(g *graph.CSR) (*matmul.Matrix, error) {
+	if !g.Weighted() {
+		return nil, fmt.Errorf("algo: distance products require a weighted graph")
+	}
+	for _, w := range g.Weights {
+		if w < 0 {
+			return nil, fmt.Errorf("algo: distance products require non-negative weights, got %d", w)
+		}
+	}
+	return matmul.FromGraph(g, core.MinPlus(), true)
+}
+
+// minplusPower returns A^h over (min,+), where A is the reflexive
+// adjacency matrix of g, via square-and-multiply on the engine (exact
+// exponentiation, as hop-limited semantics require). h = 0 yields the
+// identity (every vertex at distance 0 from itself only).
+func minplusPower(g *graph.CSR, h int, opts engine.Options) (*matmul.Matrix, *engine.Stats, error) {
+	// The reflexive (min,+) power stabilizes at A^(n-1) — every simple
+	// shortest path has at most n-1 edges — so larger exponents would
+	// only spend engine products on bit-identical results.
+	if limit := g.N - 1; h > limit {
+		if limit < 0 {
+			limit = 0
+		}
+		h = limit
+	}
+	a, err := minplusAdjacency(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	sr := core.MinPlus()
+	stats := &engine.Stats{}
+	mopts := matmul.Options{Engine: opts}
+	// Square-and-multiply over the semiring. result stays nil until the
+	// first set bit so we never pay an Identity ⊗ A product.
+	var result *matmul.Matrix
+	base := a
+	for e := h; e > 0; e >>= 1 {
+		if e&1 == 1 {
+			if result == nil {
+				result = base
+			} else {
+				var s *engine.Stats
+				result, s, err = matmul.Mul(result, base, mopts)
+				accumulate(stats, s)
+				if err != nil {
+					return nil, stats, err
+				}
+			}
+		}
+		if e > 1 {
+			var s *engine.Stats
+			base, s, err = matmul.Mul(base, base, mopts)
+			accumulate(stats, s)
+			if err != nil {
+				return nil, stats, err
+			}
+		}
+	}
+	if result == nil {
+		result = matmul.Identity(g.N, sr)
+	}
+	return result, stats, nil
+}

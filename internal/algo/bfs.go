@@ -1,8 +1,12 @@
 // Package algo implements distributed graph algorithms on top of the
-// Congested Clique round engine — the first pieces of the Dory-Parter
-// shortest-path pipeline. Each algorithm embeds an input graph G into
-// the clique (nodes only use clique links that correspond to G-edges)
-// and is verified against a sequential reference implementation.
+// Congested Clique round engine — the growing Dory-Parter shortest-path
+// pipeline. BFS and BellmanFord embed the input graph G into the clique
+// (nodes only use clique links that correspond to G-edges) and relax
+// distances round by round; APSP and HopLimitedDistances instead
+// compose (min,+) matrix products from internal/matmul, the algebraic
+// route the paper takes to its exponential speedup. Every algorithm is
+// verified against a sequential reference implementation, and the two
+// distributed pipelines are cross-checked against each other.
 package algo
 
 import (

@@ -1,16 +1,54 @@
 // Package bench drives reproducible throughput measurements of the
-// round engine and emits machine-readable results, so every future PR
-// can compare against this baseline (BENCH_engine.json).
+// round engine and the matmul subsystem and emits machine-readable
+// results (BENCH_engine.json, BENCH_matmul.json), so every future PR
+// can compare against these baselines.
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
 	"time"
 
 	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 )
+
+// Host records the machine a report was measured on. It is embedded in
+// every report type so the fields inline into the JSON object.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentHost captures the running machine's metadata.
+func CurrentHost() Host {
+	return Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// WriteJSON marshals v with indentation, appends a trailing newline,
+// and writes it to path — the one serialization used for every
+// BENCH_*.json artifact, factored out of cmd/ccbench so it is
+// unit-testable.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: marshal %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return nil
+}
 
 // Result is one measured configuration.
 type Result struct {
@@ -28,12 +66,9 @@ type Result struct {
 
 // Report is the serialized shape of BENCH_engine.json.
 type Report struct {
-	Schema    string   `json:"schema"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	GoVersion string   `json:"go_version"`
-	Results   []Result `json:"results"`
+	Schema string `json:"schema"`
+	Host
+	Results []Result `json:"results"`
 }
 
 // floodNode sends one word to each of its fanout ring successors every
@@ -95,11 +130,8 @@ func Flood(n, rounds, fanout int) (Result, error) {
 // assembles the report.
 func Run(sizes []int, rounds, fanout int) (*Report, error) {
 	rep := &Report{
-		Schema:    "doryp20/bench/v1",
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+		Schema: "doryp20/bench/v1",
+		Host:   CurrentHost(),
 	}
 	for _, n := range sizes {
 		res, err := Flood(n, rounds, fanout)

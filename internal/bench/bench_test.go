@@ -1,6 +1,11 @@
 package bench
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestFloodSmoke(t *testing.T) {
 	res, err := Flood(32, 4, 8)
@@ -42,5 +47,67 @@ func TestRunReport(t *testing.T) {
 	}
 	if rep.Schema == "" || rep.CPUs <= 0 {
 		t.Errorf("incomplete metadata: %+v", rep)
+	}
+}
+
+func TestMatmulSquareSmoke(t *testing.T) {
+	res, err := MatmulSquare(48, 0.15, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 {
+		t.Error("matmul bench routed no messages")
+	}
+	if res.Rounds <= 2 {
+		t.Errorf("Rounds = %d, want > 2 (paced streaming)", res.Rounds)
+	}
+	if res.NNZIn == 0 || res.NNZOut < res.NNZIn {
+		t.Errorf("suspicious sparsity: nnz_in=%d nnz_out=%d", res.NNZIn, res.NNZOut)
+	}
+}
+
+func TestRunMatmulReport(t *testing.T) {
+	rep, err := RunMatmul([]int{16, 32}, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.Results[0].N != 16 || rep.Results[1].N != 32 {
+		t.Errorf("unexpected results: %+v", rep.Results)
+	}
+	if rep.Schema == "" || rep.CPUs <= 0 {
+		t.Errorf("incomplete metadata: %+v", rep)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	rep := &Report{Schema: "test/v1", Host: CurrentHost()}
+	if err := WriteJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' {
+		t.Error("WriteJSON output must end with a newline")
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+	if back.Schema != "test/v1" || back.GoVersion != rep.GoVersion {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+	// Host fields must inline into the top-level object, not nest.
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := raw["goos"]; !ok {
+		t.Error("host metadata not inlined into report JSON")
+	}
+	if err := WriteJSON(filepath.Join(path, "impossible", "x.json"), rep); err == nil {
+		t.Error("WriteJSON to an impossible path must fail")
 	}
 }

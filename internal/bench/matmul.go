@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/matmul"
+)
+
+// MatmulResult is one measured distance-product configuration: a single
+// squaring A ⊗ A of the reflexive (min,+) adjacency matrix of a
+// weighted G(n,p) instance, executed through the round engine.
+type MatmulResult struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n"`
+	P          float64 `json:"p"`
+	NNZIn      int     `json:"nnz_in"`
+	NNZOut     int     `json:"nnz_out"`
+	Rounds     int     `json:"rounds"`
+	Messages   uint64  `json:"messages"`
+	Bytes      uint64  `json:"bytes"`
+	WallNs     int64   `json:"wall_ns"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	NsPerMsg   float64 `json:"ns_per_msg"`
+	// NsPerEntry normalizes wall time by output entries — the unit a
+	// sparsity-aware product must improve as later PRs add Dory-Parter
+	// sparsification.
+	NsPerEntry float64 `json:"ns_per_entry"`
+}
+
+// MatmulReport is the serialized shape of BENCH_matmul.json.
+type MatmulReport struct {
+	Schema string `json:"schema"`
+	Host
+	Results []MatmulResult `json:"results"`
+}
+
+// MatmulSquare measures one engine-executed distance-product squaring
+// on a deterministic weighted G(n, p) instance.
+func MatmulSquare(n int, p float64, seed int64) (MatmulResult, error) {
+	g := graph.RandomGNP(n, p, seed).WithUniformRandomWeights(seed+1, 32)
+	a, err := matmul.FromGraph(g, core.MinPlus(), true)
+	if err != nil {
+		return MatmulResult{}, fmt.Errorf("bench: matmul n=%d: %w", n, err)
+	}
+	c, stats, err := matmul.Mul(a, a, matmul.Options{Engine: engine.Options{}})
+	if err != nil {
+		return MatmulResult{}, fmt.Errorf("bench: matmul n=%d: %w", n, err)
+	}
+	secs := stats.Wall.Seconds()
+	if secs <= 0 {
+		secs = float64(time.Nanosecond) / float64(time.Second)
+	}
+	res := MatmulResult{
+		Name:     "matmul_minplus_square",
+		N:        n,
+		P:        p,
+		NNZIn:    a.NNZ(),
+		NNZOut:   c.NNZ(),
+		Rounds:   stats.Rounds,
+		Messages: stats.TotalMsgs,
+		Bytes:    stats.TotalBytes,
+		WallNs:   stats.Wall.Nanoseconds(),
+	}
+	if stats.TotalMsgs > 0 {
+		res.MsgsPerSec = float64(stats.TotalMsgs) / secs
+		res.NsPerMsg = float64(stats.Wall.Nanoseconds()) / float64(stats.TotalMsgs)
+	}
+	if c.NNZ() > 0 {
+		res.NsPerEntry = float64(stats.Wall.Nanoseconds()) / float64(c.NNZ())
+	}
+	return res, nil
+}
+
+// RunMatmul measures the distance-product squaring across the given
+// clique sizes and assembles the report.
+func RunMatmul(sizes []int, p float64, seed int64) (*MatmulReport, error) {
+	rep := &MatmulReport{
+		Schema: "doryp20/bench-matmul/v1",
+		Host:   CurrentHost(),
+	}
+	for _, n := range sizes {
+		res, err := MatmulSquare(n, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

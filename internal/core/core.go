@@ -7,8 +7,14 @@
 // The Congested Clique is a fully connected synchronous message-passing
 // network of n nodes. In each round every ordered pair of nodes may
 // exchange at most B = O(log n) bits. All higher layers (the round
-// engine in internal/engine and the algorithms in internal/algo) speak
-// in terms of these types so that the bandwidth accounting is uniform.
+// engine in internal/engine, the matrix subsystem in internal/matmul,
+// and the algorithms in internal/algo) speak in terms of these types so
+// that the bandwidth accounting is uniform.
+//
+// The package also defines the Semiring vocabulary (semiring.go): the
+// (min,+) distance product and the boolean (or,and) reachability
+// product that parameterize the sparse matrix machinery of the
+// Dory-Parter pipeline.
 package core
 
 import "math/bits"

@@ -1,0 +1,104 @@
+package core
+
+import "math"
+
+// InfWeight is the +infinity sentinel for path weights: the additive
+// identity ("no entry") of the (min,+) semiring. It is set to
+// math.MaxInt64/4 rather than MaxInt64 so that the sum of two finite
+// weights, or Inf plus a finite weight computed before saturation is
+// applied, can never overflow int64.
+const InfWeight int64 = math.MaxInt64 / 4
+
+// Semiring is a commutative semiring over int64 entries, the algebraic
+// parameter of the sparse matrix subsystem (internal/matmul). A matrix
+// product over (Add, Mul) is C[i][j] = Add_k Mul(A[i][k], B[k][j]);
+// instantiating Add=min, Mul=+ yields the distance product at the heart
+// of the Dory-Parter shortest-path pipeline, and Add=or, Mul=and yields
+// boolean reachability.
+//
+// Zero is the additive identity and doubles as the "absent entry"
+// sentinel: sparse matrices never store Zero entries, and Add(Zero, x)
+// must equal x. One is the multiplicative identity, used for the
+// diagonal of reflexive (identity-including) matrices.
+type Semiring struct {
+	// Name identifies the semiring in reports and error messages.
+	Name string
+	// Zero is the additive identity / absent-entry sentinel.
+	Zero int64
+	// One is the multiplicative identity.
+	One int64
+
+	add func(a, b int64) int64
+	mul func(a, b int64) int64
+	// edgeValue maps one graph arc to its matrix entry; see EdgeValue.
+	edgeValue func(w int64, weighted bool) int64
+}
+
+// EdgeValue returns the matrix entry that represents one graph arc in
+// this semiring: over (min,+) the arc weight, or 1 per hop when the
+// graph is unweighted (One = 0 would make every edge free); over the
+// boolean semiring always One ("true"), ignoring weights entirely.
+// Adjacency-matrix constructors (matmul.FromGraph) consult this so the
+// per-semiring semantics live with the semiring, not in string
+// comparisons at the call site.
+func (s Semiring) EdgeValue(w int64, weighted bool) int64 { return s.edgeValue(w, weighted) }
+
+// Add applies the semiring's additive operation (min for MinPlus,
+// logical-or for BoolOrAnd). It is commutative and associative with
+// identity Zero, so accumulation order never affects results.
+func (s Semiring) Add(a, b int64) int64 { return s.add(a, b) }
+
+// Mul applies the semiring's multiplicative operation (+ for MinPlus,
+// logical-and for BoolOrAnd). Mul(x, Zero) = Zero for both provided
+// semirings, which is what lets sparse products skip absent entries.
+func (s Semiring) Mul(a, b int64) int64 { return s.mul(a, b) }
+
+// MinPlus returns the tropical (min,+) semiring over non-negative path
+// weights: Add is min, Mul is saturating addition, Zero is InfWeight
+// (an absent entry means "no path"), One is 0 (the empty path). Matrix
+// powers over MinPlus compute hop-limited shortest-path distances,
+// which is the algebraic engine of Dory-Parter's APSP and hopset
+// constructions.
+func MinPlus() Semiring {
+	return Semiring{
+		Name: "minplus",
+		Zero: InfWeight,
+		One:  0,
+		add: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		mul: func(a, b int64) int64 {
+			if a >= InfWeight || b >= InfWeight {
+				return InfWeight
+			}
+			if s := a + b; s < InfWeight {
+				return s
+			}
+			return InfWeight
+		},
+		edgeValue: func(w int64, weighted bool) int64 {
+			if weighted {
+				return w
+			}
+			return 1
+		},
+	}
+}
+
+// BoolOrAnd returns the boolean (or,and) semiring over {0, 1}: Zero is
+// 0 (false), One is 1 (true). Matrix powers over BoolOrAnd compute
+// hop-limited reachability, the unweighted shadow of the distance
+// product (useful for spanner and connectivity subroutines).
+func BoolOrAnd() Semiring {
+	return Semiring{
+		Name:      "booland",
+		Zero:      0,
+		One:       1,
+		add:       func(a, b int64) int64 { return a | b },
+		mul:       func(a, b int64) int64 { return a & b },
+		edgeValue: func(int64, bool) int64 { return 1 },
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinPlusIdentities(t *testing.T) {
+	sr := MinPlus()
+	vals := []int64{0, 1, 7, 1 << 40, InfWeight}
+	for _, x := range vals {
+		if got := sr.Add(sr.Zero, x); got != x {
+			t.Errorf("Add(Zero, %d) = %d, want %d", x, got, x)
+		}
+		if got := sr.Add(x, sr.Zero); got != x {
+			t.Errorf("Add(%d, Zero) = %d, want %d", x, got, x)
+		}
+		if got := sr.Mul(sr.One, x); got != x {
+			t.Errorf("Mul(One, %d) = %d, want %d", x, got, x)
+		}
+		if got := sr.Mul(x, sr.Zero); got != sr.Zero {
+			t.Errorf("Mul(%d, Zero) = %d, want Zero", x, got)
+		}
+	}
+	if got := sr.Add(3, 5); got != 3 {
+		t.Errorf("Add(3,5) = %d, want 3", got)
+	}
+	if got := sr.Mul(3, 5); got != 8 {
+		t.Errorf("Mul(3,5) = %d, want 8", got)
+	}
+}
+
+func TestMinPlusSaturates(t *testing.T) {
+	sr := MinPlus()
+	big := InfWeight - 1
+	if got := sr.Mul(big, big); got != InfWeight {
+		t.Errorf("Mul(big, big) = %d, want InfWeight", got)
+	}
+	if got := sr.Mul(InfWeight, 1); got != InfWeight {
+		t.Errorf("Mul(Inf, 1) = %d, want InfWeight", got)
+	}
+	// The sentinel must leave headroom so a pre-saturation sum of two
+	// "infinite" operands cannot wrap around int64.
+	if InfWeight > math.MaxInt64/2 {
+		t.Fatalf("InfWeight %d leaves no overflow headroom", InfWeight)
+	}
+}
+
+func TestBoolOrAnd(t *testing.T) {
+	sr := BoolOrAnd()
+	cases := []struct{ a, b, or, and int64 }{
+		{0, 0, 0, 0}, {0, 1, 1, 0}, {1, 0, 1, 0}, {1, 1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := sr.Add(c.a, c.b); got != c.or {
+			t.Errorf("Add(%d,%d) = %d, want %d", c.a, c.b, got, c.or)
+		}
+		if got := sr.Mul(c.a, c.b); got != c.and {
+			t.Errorf("Mul(%d,%d) = %d, want %d", c.a, c.b, got, c.and)
+		}
+	}
+	if sr.Zero != 0 || sr.One != 1 {
+		t.Errorf("BoolOrAnd identities = (%d,%d), want (0,1)", sr.Zero, sr.One)
+	}
+}

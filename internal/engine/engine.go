@@ -5,6 +5,12 @@
 // rounds, routes messages through a sharded, double-buffered,
 // zero-allocation router (see router.go), enforces the model's
 // O(log n)-bit per-link bandwidth budget, and collects per-round stats.
+//
+// The Outbox helper (outbox.go) layers balanced, budget-paced
+// all-to-all exchange on top of Ctx.Send: queue any multiset of
+// (destination, word) messages and flush them over as many rounds as
+// the per-link cap requires. See docs/architecture.md for the message
+// lifecycle and the exact point where the budget is enforced.
 package engine
 
 import (
@@ -78,6 +84,12 @@ func (c *Ctx) ID() core.NodeID { return c.src }
 
 // NumNodes returns the clique size n.
 func (c *Ctx) NumNodes() int { return c.n }
+
+// LinkMsgCap returns the enforced whole-message capacity of one
+// directed link in one round — Options.Budget.MsgsPerLink() after the
+// router's internal clamping. Pacing layers (Outbox) size their
+// per-round bursts with it.
+func (c *Ctx) LinkMsgCap() int { return c.rt.linkCap }
 
 // Send queues one payload word to dst for delivery next round. It
 // returns a *BandwidthError if the per-link budget for this round is

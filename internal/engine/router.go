@@ -62,6 +62,7 @@ type BandwidthError struct {
 	Cap      int
 }
 
+// Error formats the violated link, round, and cap.
 func (e *BandwidthError) Error() string {
 	return fmt.Sprintf("engine: bandwidth cap exceeded on link %d->%d in round %d (cap %d msgs/round)",
 		e.Src, e.Dst, e.Round, e.Cap)

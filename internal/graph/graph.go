@@ -62,6 +62,19 @@ func (g *CSR) NeighborWeights(v core.NodeID) []int64 {
 // Weighted reports whether the graph carries arc weights.
 func (g *CSR) Weighted() bool { return g.Weights != nil }
 
+// Row is the matrix view of vertex v: the column indices (sorted
+// neighbor IDs) and values (arc weights, or nil when unweighted) of row
+// v of the graph's adjacency matrix. Both slices alias the CSR's
+// internal storage and must not be modified. internal/matmul builds its
+// semiring matrices from this view without copying the index structure.
+func (g *CSR) Row(v core.NodeID) (cols []core.NodeID, vals []int64) {
+	lo, hi := g.Offsets[v], g.Offsets[v+1]
+	if g.Weights == nil {
+		return g.Targets[lo:hi], nil
+	}
+	return g.Targets[lo:hi], g.Weights[lo:hi]
+}
+
 // Validate checks the CSR structural invariants. It is intended for
 // tests and generator debugging, not hot paths.
 func (g *CSR) Validate() error {

@@ -1,0 +1,296 @@
+// Package matmul is the semiring-parameterized sparse matrix subsystem
+// of the Dory-Parter reproduction. The paper's exponential speedup for
+// Congested Clique shortest paths comes from computing distance
+// products — matrix products over the (min,+) semiring — with balanced
+// routing inside the O(log n)-bit per-link budget; this package
+// provides exactly that machinery.
+//
+// A Matrix is an n x n sparse matrix in the same CSR layout as
+// internal/graph, with entries from a core.Semiring (absent entries are
+// the semiring Zero). Products come in two executions:
+//
+//   - MulRef / MulDenseRef: sequential references, used for
+//     verification.
+//   - Mul / MulDense: distributed execution on the round engine. Node v
+//     owns row v of both operands; the product is decomposed into a
+//     request round followed by budget-paced streaming rounds through
+//     the engine's sharded router (see mul.go), and the returned
+//     engine.Stats expose exactly how many rounds and messages the
+//     model charged.
+//
+// On top of it, internal/algo builds APSP by repeated squaring and
+// hop-limited distances — the substrate for the paper's hopset
+// construction.
+package matmul
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// Matrix is an immutable n x n sparse matrix over a semiring, stored in
+// CSR form: row v's entries occupy Cols[Rows[v]:Rows[v+1]] (strictly
+// sorted by column) with parallel values in Vals. Entries equal to the
+// semiring Zero are never stored.
+type Matrix struct {
+	// N is the dimension; rows and columns are indexed by core.NodeID
+	// in [0, N).
+	N int
+	// Sr is the semiring the entries live in.
+	Sr core.Semiring
+	// Rows has length N+1: row v spans [Rows[v], Rows[v+1]).
+	Rows []int32
+	// Cols holds the column indices, strictly sorted within each row.
+	Cols []core.NodeID
+	// Vals parallels Cols.
+	Vals []int64
+}
+
+// NNZ returns the number of stored (non-Zero) entries.
+func (m *Matrix) NNZ() int { return len(m.Cols) }
+
+// Row returns the column-index and value slices of row v. They alias
+// the matrix's internal storage and must not be modified.
+func (m *Matrix) Row(v core.NodeID) (cols []core.NodeID, vals []int64) {
+	lo, hi := m.Rows[v], m.Rows[v+1]
+	return m.Cols[lo:hi], m.Vals[lo:hi]
+}
+
+// At returns the (i, j) entry, or the semiring Zero if it is absent.
+func (m *Matrix) At(i, j core.NodeID) int64 {
+	cols, vals := m.Row(i)
+	k := sort.Search(len(cols), func(k int) bool { return cols[k] >= j })
+	if k < len(cols) && cols[k] == j {
+		return vals[k]
+	}
+	return m.Sr.Zero
+}
+
+// Validate checks the structural invariants: offsets monotone and
+// spanning, columns in range and strictly sorted per row, no stored
+// Zero entries. Intended for tests, not hot paths.
+func (m *Matrix) Validate() error {
+	if len(m.Rows) != m.N+1 {
+		return fmt.Errorf("matmul: len(Rows)=%d, want N+1=%d", len(m.Rows), m.N+1)
+	}
+	if m.Rows[0] != 0 || int(m.Rows[m.N]) != len(m.Cols) {
+		return fmt.Errorf("matmul: row offsets [%d,%d] do not span %d entries",
+			m.Rows[0], m.Rows[m.N], len(m.Cols))
+	}
+	if len(m.Vals) != len(m.Cols) {
+		return fmt.Errorf("matmul: len(Vals)=%d, want %d", len(m.Vals), len(m.Cols))
+	}
+	for v := 0; v < m.N; v++ {
+		if m.Rows[v] > m.Rows[v+1] {
+			return fmt.Errorf("matmul: row offsets not monotone at row %d", v)
+		}
+		cols, vals := m.Row(core.NodeID(v))
+		for k, j := range cols {
+			if j < 0 || int(j) >= m.N {
+				return fmt.Errorf("matmul: row %d has out-of-range column %d", v, j)
+			}
+			if k > 0 && cols[k-1] >= j {
+				return fmt.Errorf("matmul: row %d columns not strictly sorted", v)
+			}
+			if vals[k] == m.Sr.Zero {
+				return fmt.Errorf("matmul: row %d stores a Zero entry at column %d", v, j)
+			}
+		}
+	}
+	return nil
+}
+
+// rowBuilder assembles a Matrix row by row in index order.
+type rowBuilder struct {
+	m *Matrix
+}
+
+func newBuilder(n int, sr core.Semiring) *rowBuilder {
+	return &rowBuilder{m: &Matrix{N: n, Sr: sr, Rows: make([]int32, 1, n+1)}}
+}
+
+// appendRow adds the next row from a dense accumulator, skipping Zero
+// entries.
+func (b *rowBuilder) appendRow(acc []int64) {
+	m := b.m
+	for j, val := range acc {
+		if val != m.Sr.Zero {
+			m.Cols = append(m.Cols, core.NodeID(j))
+			m.Vals = append(m.Vals, val)
+		}
+	}
+	m.Rows = append(m.Rows, int32(len(m.Cols)))
+}
+
+// Identity returns the n x n identity matrix: diagonal One, Zero
+// elsewhere.
+func Identity(n int, sr core.Semiring) *Matrix {
+	m := &Matrix{
+		N:    n,
+		Sr:   sr,
+		Rows: make([]int32, n+1),
+		Cols: make([]core.NodeID, n),
+		Vals: make([]int64, n),
+	}
+	for v := 0; v < n; v++ {
+		m.Rows[v+1] = int32(v + 1)
+		m.Cols[v] = core.NodeID(v)
+		m.Vals[v] = sr.One
+	}
+	return m
+}
+
+// FromGraph builds the adjacency matrix of g over sr. Each arc's entry
+// is sr.EdgeValue(weight, weighted) — the arc weight over (min,+), a
+// hop cost of 1 when g is unweighted, always One over the boolean
+// semiring — so matrix powers mean what the algorithms expect. With
+// reflexive set, the diagonal carries One (folded via sr.Add with any
+// self-loop the input carries), which makes matrix powers compute "at
+// most h hops" rather than "exactly h hops" — the form every
+// distance-product algorithm wants. The index structure (Rows, Cols)
+// aliases the CSR's storage in the non-reflexive case; values are
+// freshly allocated.
+func FromGraph(g *graph.CSR, sr core.Semiring, reflexive bool) (*Matrix, error) {
+	weighted := g.Weights != nil
+	arcVal := func(ws []int64, i int) int64 {
+		var w int64
+		if ws != nil {
+			w = ws[i]
+		}
+		return sr.EdgeValue(w, weighted)
+	}
+	if !reflexive {
+		vals := make([]int64, len(g.Targets))
+		for i := range vals {
+			vals[i] = arcVal(g.Weights, i)
+		}
+		m := &Matrix{N: g.N, Sr: sr, Rows: g.Offsets, Cols: g.Targets, Vals: vals}
+		return m, m.Validate()
+	}
+	n := g.N
+	m := &Matrix{
+		N:    n,
+		Sr:   sr,
+		Rows: make([]int32, n+1),
+		Cols: make([]core.NodeID, 0, len(g.Targets)+n),
+		Vals: make([]int64, 0, len(g.Targets)+n),
+	}
+	for v := 0; v < n; v++ {
+		cols, ws := g.Row(core.NodeID(v))
+		placedDiag := false
+		for i, u := range cols {
+			if !placedDiag && u >= core.NodeID(v) {
+				placedDiag = true
+				if u == core.NodeID(v) {
+					// Fold an existing self-loop into the diagonal
+					// instead of emitting a duplicate column.
+					m.Cols = append(m.Cols, u)
+					m.Vals = append(m.Vals, sr.Add(sr.One, arcVal(ws, i)))
+					continue
+				}
+				m.Cols = append(m.Cols, core.NodeID(v))
+				m.Vals = append(m.Vals, sr.One)
+			}
+			m.Cols = append(m.Cols, u)
+			m.Vals = append(m.Vals, arcVal(ws, i))
+		}
+		if !placedDiag {
+			m.Cols = append(m.Cols, core.NodeID(v))
+			m.Vals = append(m.Vals, sr.One)
+		}
+		m.Rows[v+1] = int32(len(m.Cols))
+	}
+	return m, m.Validate()
+}
+
+// Dense is an n x k dense matrix over a semiring, row-major: entry
+// (v, j) is Vals[v*K+j]. Zero entries are stored explicitly (that is
+// what "dense" means here); K is typically a small number of sources.
+type Dense struct {
+	N, K int
+	Sr   core.Semiring
+	Vals []int64
+}
+
+// NewDense returns an n x k Dense filled with the semiring Zero.
+func NewDense(n, k int, sr core.Semiring) *Dense {
+	d := &Dense{N: n, K: k, Sr: sr, Vals: make([]int64, n*k)}
+	if sr.Zero != 0 {
+		for i := range d.Vals {
+			d.Vals[i] = sr.Zero
+		}
+	}
+	return d
+}
+
+// Row returns row v of the dense matrix. It aliases internal storage.
+func (d *Dense) Row(v core.NodeID) []int64 { return d.Vals[int(v)*d.K : (int(v)+1)*d.K] }
+
+// At returns the (v, j) entry.
+func (d *Dense) At(v core.NodeID, j int) int64 { return d.Vals[int(v)*d.K+j] }
+
+// MulRef is the sequential reference for the sparse product C = A ⊗ B:
+// C[i][j] = Add_k Mul(A[i][k], B[k][j]), computed row by row with a
+// dense accumulator. Both operands must share the dimension and
+// semiring.
+func MulRef(a, b *Matrix) (*Matrix, error) {
+	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
+		return nil, err
+	}
+	sr := a.Sr
+	bld := newBuilder(a.N, sr)
+	acc := make([]int64, a.N)
+	for i := 0; i < a.N; i++ {
+		for j := range acc {
+			acc[j] = sr.Zero
+		}
+		aCols, aVals := a.Row(core.NodeID(i))
+		for t, k := range aCols {
+			aik := aVals[t]
+			bCols, bVals := b.Row(k)
+			for s, j := range bCols {
+				acc[j] = sr.Add(acc[j], sr.Mul(aik, bVals[s]))
+			}
+		}
+		bld.appendRow(acc)
+	}
+	return bld.m, nil
+}
+
+// MulDenseRef is the sequential reference for the sparse-dense product
+// C = A ⊗ B with B (and C) n x k dense.
+func MulDenseRef(a *Matrix, b *Dense) (*Dense, error) {
+	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
+		return nil, err
+	}
+	sr := a.Sr
+	c := NewDense(a.N, b.K, sr)
+	for i := 0; i < a.N; i++ {
+		out := c.Row(core.NodeID(i))
+		aCols, aVals := a.Row(core.NodeID(i))
+		for t, k := range aCols {
+			aik := aVals[t]
+			bRow := b.Row(k)
+			for j, bkj := range bRow {
+				if bkj == sr.Zero {
+					continue
+				}
+				out[j] = sr.Add(out[j], sr.Mul(aik, bkj))
+			}
+		}
+	}
+	return c, nil
+}
+
+func checkPair(an, bn int, asr, bsr core.Semiring) error {
+	if an != bn {
+		return fmt.Errorf("matmul: dimension mismatch %d vs %d", an, bn)
+	}
+	if asr.Name != bsr.Name {
+		return fmt.Errorf("matmul: semiring mismatch %q vs %q", asr.Name, bsr.Name)
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package matmul
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+)
+
+// Options configures a distributed product.
+type Options struct {
+	// Engine configures the underlying round engine (workers, budget,
+	// MaxRounds). The zero value selects the engine defaults, including
+	// the canonical one-word-per-link budget.
+	Engine engine.Options
+	// Unpaced disables the Outbox pacing of response streams: each
+	// responder pushes its entire row to every requester within a
+	// single round. Any row larger than the per-link message cap then
+	// exceeds the bandwidth budget and the product fails with a
+	// *engine.BandwidthError. This mode exists to demonstrate (and
+	// regression-test) why the balanced multi-round schedule is
+	// necessary; real callers leave it off.
+	Unpaced bool
+}
+
+// The wire format packs one matrix entry (column index, value) into a
+// single Theta(log n)-bit message word: the column in the top
+// Log2Ceil(cols) bits, the value in the remaining low bits. wireFormat
+// captures the split for one product.
+type wireFormat struct {
+	valBits uint
+	valMask uint64
+	maxVal  int64
+}
+
+func newWireFormat(cols int) wireFormat {
+	idxBits := uint(core.Log2Ceil(cols))
+	if idxBits == 0 {
+		idxBits = 1 // keep valBits < 64 so shifts stay defined
+	}
+	valBits := 64 - idxBits
+	wf := wireFormat{valBits: valBits, valMask: 1<<valBits - 1}
+	wf.maxVal = int64(wf.valMask)
+	return wf
+}
+
+func (wf wireFormat) pack(j int, val int64) uint64 {
+	return uint64(j)<<wf.valBits | uint64(val)
+}
+
+func (wf wireFormat) unpack(w uint64) (j int, val int64) {
+	return int(w >> wf.valBits), int64(w & wf.valMask)
+}
+
+// checkPackable verifies that every value in vals fits the wire
+// format's value field (semiring Zero values are exempt because they
+// are never transmitted).
+func (wf wireFormat) checkPackable(vals []int64, zero int64, what string) error {
+	for _, v := range vals {
+		if v == zero {
+			continue
+		}
+		if v < 0 || v > wf.maxVal {
+			return fmt.Errorf(
+				"matmul: %s value %d does not fit the %d-bit wire value field [0, %d]",
+				what, v, wf.valBits, wf.maxVal)
+		}
+	}
+	return nil
+}
+
+// mulNode executes one node's share of a distributed product C = A ⊗ B.
+// Node v owns row v of A, row v of B (pre-packed into wire words), and
+// accumulates row v of C. The protocol is globally phased:
+//
+//	round 0:    v sends one request word to every k in supp(A[v]),
+//	            k != v, and folds in the local k = v contribution.
+//	round 1:    inboxes hold only requests; v enqueues its packed B-row
+//	            for each requester on its Outbox and starts flushing.
+//	rounds >=2: inboxes hold only data words; v accumulates
+//	            C[v][j] = Add(C[v][j], Mul(A[v][k], B[k][j])) for each
+//	            word received from k, and keeps flushing its Outbox.
+//
+// The engine's quiescence detection ends the run once every Outbox has
+// drained: the round after the last data word is delivered, no node
+// sends anything.
+type mulNode struct {
+	sr     core.Semiring
+	wf     wireFormat
+	aCols  []core.NodeID
+	aVals  []int64
+	packed []uint64 // this node's row of B, in wire format
+	acc    []int64  // this node's row of C, dense
+	ob     *engine.Outbox
+	unpace bool
+}
+
+// lookupA returns A[v][k] for this node's row, which exists whenever a
+// data word from k arrives (we only requested rows we can use).
+func (nd *mulNode) lookupA(k core.NodeID) (int64, bool) {
+	i := sort.Search(len(nd.aCols), func(i int) bool { return nd.aCols[i] >= k })
+	if i < len(nd.aCols) && nd.aCols[i] == k {
+		return nd.aVals[i], true
+	}
+	return nd.sr.Zero, false
+}
+
+func (nd *mulNode) accumulate(aik int64, words []uint64) {
+	for _, w := range words {
+		j, val := nd.wf.unpack(w)
+		nd.acc[j] = nd.sr.Add(nd.acc[j], nd.sr.Mul(aik, val))
+	}
+}
+
+func (nd *mulNode) Round(ctx *engine.Ctx, r core.Round, inbox []engine.Message) error {
+	switch r {
+	case 0:
+		if avv, ok := nd.lookupA(ctx.ID()); ok {
+			nd.accumulate(avv, nd.packed)
+		}
+		for _, k := range nd.aCols {
+			if k == ctx.ID() {
+				continue
+			}
+			if err := ctx.Send(k, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 1:
+		for _, m := range inbox {
+			if nd.unpace {
+				for _, w := range nd.packed {
+					if err := ctx.Send(m.Src, w); err != nil {
+						return err
+					}
+				}
+			} else {
+				// By reference: every requester streams from the same
+				// packed row, O(1) bookkeeping per requester instead
+				// of one copy each.
+				nd.ob.PushShared(m.Src, nd.packed)
+			}
+		}
+		if nd.ob != nil {
+			return nd.ob.Flush(ctx)
+		}
+		return nil
+	default:
+		// Deterministic inbox order delivers each sender's words in
+		// contiguous runs, so caching the last (src, A[v][src]) pair
+		// removes the per-word binary search from the dominant loop.
+		lastSrc := core.NodeID(-1)
+		var aik int64
+		for _, m := range inbox {
+			if m.Src != lastSrc {
+				var ok bool
+				aik, ok = nd.lookupA(m.Src)
+				if !ok {
+					return fmt.Errorf("matmul: node %d got unsolicited data from %d", ctx.ID(), m.Src)
+				}
+				lastSrc = m.Src
+			}
+			j, val := nd.wf.unpack(m.Payload)
+			nd.acc[j] = nd.sr.Add(nd.acc[j], nd.sr.Mul(aik, val))
+		}
+		if nd.ob != nil {
+			return nd.ob.Flush(ctx)
+		}
+		return nil
+	}
+}
+
+// runProduct wires n mulNodes (node v holding packed B-row packed[v]
+// and a cols-wide accumulator) into the engine and runs to quiescence.
+// It returns the per-node accumulator rows — views tiling the flat
+// n*cols slab, also returned so dense callers can wrap it without
+// copying — plus the run's stats.
+func runProduct(a *Matrix, packed [][]uint64, cols int, wf wireFormat, opts Options) ([][]int64, []int64, *engine.Stats, error) {
+	n := a.N
+	if opts.Engine.MaxRounds <= 0 {
+		// The paced drain of the widest row takes ~len rounds at one
+		// word per link per round, which for dense operands (K columns)
+		// can exceed the engine's n-scaled default of 4n+64. Size the
+		// bound from the actual widest row so legal products never hit
+		// ErrMaxRounds.
+		maxRow := 0
+		for _, row := range packed {
+			if len(row) > maxRow {
+				maxRow = len(row)
+			}
+		}
+		opts.Engine.MaxRounds = 4*n + 64 + maxRow
+	}
+	nodes := make([]engine.Node, n)
+	state := make([]mulNode, n)
+	accs := make([][]int64, n)
+	flat := make([]int64, n*cols)
+	if a.Sr.Zero != 0 {
+		for i := range flat {
+			flat[i] = a.Sr.Zero
+		}
+	}
+	for v := 0; v < n; v++ {
+		aCols, aVals := a.Row(core.NodeID(v))
+		accs[v] = flat[v*cols : (v+1)*cols]
+		state[v] = mulNode{
+			sr:     a.Sr,
+			wf:     wf,
+			aCols:  aCols,
+			aVals:  aVals,
+			packed: packed[v],
+			acc:    accs[v],
+			unpace: opts.Unpaced,
+		}
+		if !opts.Unpaced {
+			state[v].ob = engine.NewOutbox(n)
+		}
+		nodes[v] = &state[v]
+	}
+	stats, err := engine.New(nodes, opts.Engine).Run()
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	return accs, flat, stats, nil
+}
+
+// packRows converts each sparse row of b into wire words.
+func packRows(b *Matrix, wf wireFormat) [][]uint64 {
+	packed := make([][]uint64, b.N)
+	for v := 0; v < b.N; v++ {
+		cols, vals := b.Row(core.NodeID(v))
+		row := make([]uint64, len(cols))
+		for i, j := range cols {
+			row[i] = wf.pack(int(j), vals[i])
+		}
+		packed[v] = row
+	}
+	return packed
+}
+
+// Mul computes the sparse product C = A ⊗ B on the round engine: n
+// clique nodes, node v holding row v of each operand, communicating
+// only bounded words through the sharded router under the per-link
+// budget. The returned stats are the engine's own accounting of the
+// product — rounds executed and words routed. Values of B must fit the
+// wire format's value field (64 - ceil(log2 n) bits); the product fails
+// fast with a descriptive error otherwise.
+func Mul(a, b *Matrix, opts Options) (*Matrix, *engine.Stats, error) {
+	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
+		return nil, nil, err
+	}
+	wf := newWireFormat(a.N)
+	if err := wf.checkPackable(b.Vals, b.Sr.Zero, "matrix"); err != nil {
+		return nil, nil, err
+	}
+	accs, _, stats, err := runProduct(a, packRows(b, wf), a.N, wf, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	bld := newBuilder(a.N, a.Sr)
+	for _, acc := range accs {
+		bld.appendRow(acc)
+	}
+	return bld.m, stats, nil
+}
+
+// MulDense computes the sparse-dense product C = A ⊗ B on the round
+// engine, with B and C n x k dense (k is typically a small set of
+// sources whose distance columns are being relaxed). Zero entries of B
+// are not transmitted; values must fit 64 - ceil(log2 k) bits.
+func MulDense(a *Matrix, b *Dense, opts Options) (*Dense, *engine.Stats, error) {
+	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
+		return nil, nil, err
+	}
+	wf := newWireFormat(b.K)
+	if err := wf.checkPackable(b.Vals, b.Sr.Zero, "dense"); err != nil {
+		return nil, nil, err
+	}
+	packed := make([][]uint64, b.N)
+	for v := 0; v < b.N; v++ {
+		row := b.Row(core.NodeID(v))
+		words := make([]uint64, 0, len(row))
+		for j, val := range row {
+			if val == b.Sr.Zero {
+				continue
+			}
+			words = append(words, wf.pack(j, val))
+		}
+		packed[v] = words
+	}
+	_, flat, stats, err := runProduct(a, packed, b.K, wf, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	// The accumulator slab already is the row-major n x k result.
+	return &Dense{N: a.N, K: b.K, Sr: a.Sr, Vals: flat}, stats, nil
+}

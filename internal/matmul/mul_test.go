@@ -1,0 +1,258 @@
+package matmul
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+func matricesEqual(t *testing.T, got, want *Matrix, label string) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: result invalid: %v", label, err)
+	}
+	for i := 0; i < want.N; i++ {
+		for j := 0; j < want.N; j++ {
+			g := got.At(core.NodeID(i), core.NodeID(j))
+			w := want.At(core.NodeID(i), core.NodeID(j))
+			if g != w {
+				t.Fatalf("%s: C[%d][%d] = %d, want %d", label, i, j, g, w)
+			}
+		}
+	}
+}
+
+// TestMulMatchesRef runs the distributed product against the sequential
+// reference across generator families, semirings, and worker counts.
+func TestMulMatchesRef(t *testing.T) {
+	for _, sr := range []core.Semiring{core.MinPlus(), core.BoolOrAnd()} {
+		for gi, g := range testGraphs(t) {
+			gg := g
+			if sr.Name == "booland" {
+				gg = &graph.CSR{N: g.N, Offsets: g.Offsets, Targets: g.Targets}
+			}
+			a, err := FromGraph(gg, sr, true)
+			if err != nil {
+				t.Fatalf("FromGraph: %v", err)
+			}
+			want, err := MulRef(a, a)
+			if err != nil {
+				t.Fatalf("MulRef: %v", err)
+			}
+			for _, workers := range []int{1, 3, 8} {
+				got, stats, err := Mul(a, a, Options{Engine: engine.Options{Workers: workers}})
+				if err != nil {
+					t.Fatalf("Mul(%s, g%d, w=%d): %v", sr.Name, gi, workers, err)
+				}
+				if stats.TotalMsgs == 0 && g.NumEdges() > 0 {
+					t.Fatalf("Mul(%s, g%d, w=%d): no messages routed for a non-empty graph", sr.Name, gi, workers)
+				}
+				matricesEqual(t, got, want, sr.Name)
+			}
+		}
+	}
+}
+
+// TestMulSquaredMatchesRef verifies a second-level product (the result
+// of a product fed back in), which exercises denser operands.
+func TestMulSquaredMatchesRef(t *testing.T) {
+	sr := core.MinPlus()
+	g := graph.RandomGNP(20, 0.25, 13).WithUniformRandomWeights(8, 8)
+	a, err := FromGraph(g, sr, true)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	a2, _, err := Mul(a, a, Options{})
+	if err != nil {
+		t.Fatalf("Mul(A, A): %v", err)
+	}
+	a4, _, err := Mul(a2, a2, Options{})
+	if err != nil {
+		t.Fatalf("Mul(A2, A2): %v", err)
+	}
+	ref2, err := MulRef(a, a)
+	if err != nil {
+		t.Fatalf("MulRef: %v", err)
+	}
+	ref4, err := MulRef(ref2, ref2)
+	if err != nil {
+		t.Fatalf("MulRef: %v", err)
+	}
+	matricesEqual(t, a4, ref4, "A^4")
+}
+
+// TestMulN256RoutesMessages is the acceptance check that a product at
+// n=256 really flows through the router: the engine must report a
+// substantial number of routed words and more than the two protocol
+// framing rounds.
+func TestMulN256RoutesMessages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=256 product in -short mode")
+	}
+	sr := core.MinPlus()
+	g := graph.RandomGNP(256, 0.05, 99).WithUniformRandomWeights(9, 30)
+	a, err := FromGraph(g, sr, true)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	c, stats, err := Mul(a, a, Options{})
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	if stats.TotalMsgs == 0 {
+		t.Fatal("engine stats report zero routed messages for an n=256 product")
+	}
+	// Every off-diagonal A-entry triggers one request, and every
+	// requested B-row streams back entry by entry.
+	minMsgs := uint64(a.NNZ() - a.N)
+	if stats.TotalMsgs < minMsgs {
+		t.Fatalf("TotalMsgs = %d, want >= %d (requests alone)", stats.TotalMsgs, minMsgs)
+	}
+	if stats.Rounds <= 2 {
+		t.Fatalf("Rounds = %d, want > 2 (budget-paced streaming)", stats.Rounds)
+	}
+	want, err := MulRef(a, a)
+	if err != nil {
+		t.Fatalf("MulRef: %v", err)
+	}
+	matricesEqual(t, c, want, "n=256")
+}
+
+// TestUnpacedProductReturnsBandwidthError is the regression test that a
+// product violating the per-link budget surfaces *engine.BandwidthError
+// through the error chain instead of panicking or silently dropping.
+func TestUnpacedProductReturnsBandwidthError(t *testing.T) {
+	sr := core.MinPlus()
+	// K_8 rows have 8 entries + diagonal; the default budget is one
+	// word per link per round, so an unpaced stream must overflow.
+	g := graph.Clique(8).WithUniformRandomWeights(10, 5)
+	a, err := FromGraph(g, sr, true)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	_, _, err = Mul(a, a, Options{Unpaced: true})
+	var bwe *engine.BandwidthError
+	if !errors.As(err, &bwe) {
+		t.Fatalf("unpaced Mul error = %v, want *engine.BandwidthError", err)
+	}
+	// The paced path on the identical input must succeed.
+	if _, _, err := Mul(a, a, Options{}); err != nil {
+		t.Fatalf("paced Mul on same input: %v", err)
+	}
+}
+
+// TestMulRejectsUnpackableValues checks the pre-flight value screen.
+func TestMulRejectsUnpackableValues(t *testing.T) {
+	sr := core.MinPlus()
+	a := Identity(300, sr) // 9 index bits -> 55 value bits
+	big := &Matrix{N: 300, Sr: sr, Rows: make([]int32, 301), Cols: []core.NodeID{1}, Vals: []int64{1 << 60}}
+	for v := 1; v <= 300; v++ {
+		big.Rows[v] = 1
+	}
+	if _, _, err := Mul(a, big, Options{}); err == nil {
+		t.Fatal("Mul accepted a value wider than the wire format")
+	}
+}
+
+func TestMulDenseMatchesRef(t *testing.T) {
+	sr := core.MinPlus()
+	g := graph.RandomGNP(24, 0.3, 21).WithUniformRandomWeights(11, 6)
+	a, err := FromGraph(g, sr, true)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	// B's columns are distance vectors of k sources: column j starts as
+	// the indicator of source j (0 at the source, Inf elsewhere).
+	const k = 3
+	b := NewDense(a.N, k, sr)
+	for j := 0; j < k; j++ {
+		b.Row(core.NodeID(j * 7))[j] = sr.One
+	}
+	want, err := MulDenseRef(a, b)
+	if err != nil {
+		t.Fatalf("MulDenseRef: %v", err)
+	}
+	got, stats, err := MulDense(a, b, Options{})
+	if err != nil {
+		t.Fatalf("MulDense: %v", err)
+	}
+	if stats.TotalMsgs == 0 {
+		t.Fatal("MulDense routed no messages")
+	}
+	for v := 0; v < a.N; v++ {
+		for j := 0; j < k; j++ {
+			if got.At(core.NodeID(v), j) != want.At(core.NodeID(v), j) {
+				t.Fatalf("C[%d][%d] = %d, want %d", v, j, got.At(core.NodeID(v), j), want.At(core.NodeID(v), j))
+			}
+		}
+	}
+}
+
+// TestMulDenseWideOperand: draining a dense K-wide row takes ~K rounds
+// at one word per link, so K larger than the engine's n-scaled default
+// round bound must still succeed (the product sizes MaxRounds from the
+// widest packed row).
+func TestMulDenseWideOperand(t *testing.T) {
+	sr := core.MinPlus()
+	g := graph.Clique(16).WithUniformRandomWeights(3, 4)
+	a, err := FromGraph(g, sr, true)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	const k = 200 // > 4n+64 = 128
+	b := NewDense(a.N, k, sr)
+	// All k entries on one row, so draining that row's stream takes
+	// ~k rounds — past the engine's n-scaled default bound; the
+	// product must size MaxRounds from the widest packed row.
+	for j := 0; j < k; j++ {
+		b.Row(0)[j] = int64(1 + j%5)
+	}
+	got, _, err := MulDense(a, b, Options{})
+	if err != nil {
+		t.Fatalf("MulDense with wide dense operand: %v", err)
+	}
+	want, err := MulDenseRef(a, b)
+	if err != nil {
+		t.Fatalf("MulDenseRef: %v", err)
+	}
+	for v := 0; v < a.N; v++ {
+		for j := 0; j < k; j++ {
+			if got.At(core.NodeID(v), j) != want.At(core.NodeID(v), j) {
+				t.Fatalf("C[%d][%d] = %d, want %d", v, j, got.At(core.NodeID(v), j), want.At(core.NodeID(v), j))
+			}
+		}
+	}
+}
+
+// TestMulDeterministic re-runs the same product with different worker
+// counts and demands bit-identical results.
+func TestMulDeterministic(t *testing.T) {
+	sr := core.MinPlus()
+	g := graph.RandomGNP(32, 0.2, 5).WithUniformRandomWeights(12, 12)
+	a, err := FromGraph(g, sr, true)
+	if err != nil {
+		t.Fatalf("FromGraph: %v", err)
+	}
+	var first *Matrix
+	for _, workers := range []int{1, 2, 5, 16} {
+		c, _, err := Mul(a, a, Options{Engine: engine.Options{Workers: workers}})
+		if err != nil {
+			t.Fatalf("Mul(w=%d): %v", workers, err)
+		}
+		if first == nil {
+			first = c
+			continue
+		}
+		if len(c.Cols) != len(first.Cols) {
+			t.Fatalf("w=%d: NNZ %d differs from %d", workers, len(c.Cols), len(first.Cols))
+		}
+		for i := range c.Cols {
+			if c.Cols[i] != first.Cols[i] || c.Vals[i] != first.Vals[i] {
+				t.Fatalf("w=%d: entry %d differs", workers, i)
+			}
+		}
+	}
+}
