@@ -1,0 +1,243 @@
+// Package clique is the public session API of the Dory-Parter
+// Congested Clique reproduction: the one way to run anything on the
+// simulator. clique.New(g, opts...) builds a reusable *Session whose
+// engine workers, sharded router, and stats sink stay warm across runs;
+// Session.Run(ctx, kernel) executes a Kernel — a possibly multi-pass
+// distributed computation — with context cancellation and deadlines
+// plumbed into the engine's round barrier.
+//
+// Kernels are composable: a pipeline kernel (for example
+// algo.KSourceDistances — hop-limited matrix powering followed by
+// per-source relaxation, the skeleton the hopset construction drops
+// into) simply requests one engine pass after another from the same
+// warm session, and the session's cumulative Stats bill every stage
+// under one account. The package also hosts a registry (Register /
+// Kernels / NewKernel) that cmd/ccbench and the test suite iterate
+// uniformly; internal/algo and internal/matmul register their kernels
+// at init.
+//
+// Old free-function entry points (algo.BFS, algo.APSP, matmul.Mul, ...)
+// remain as thin wrappers over this API.
+package clique
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// settings is the accumulated result of applying functional options.
+type settings struct {
+	eng engine.Options
+	// explicitMaxRounds records that the caller pinned MaxRounds, so
+	// kernel MaxRoundsHints must not override it.
+	explicitMaxRounds bool
+}
+
+// Option configures a Session at New; see WithWorkers, WithBudget,
+// WithMaxRounds, WithRoundHook, and WithEngineOptions.
+type Option func(*settings)
+
+// WithWorkers sets the engine's scheduler worker (and router shard)
+// count. Zero selects the GOMAXPROCS default; negative values are
+// rejected by New.
+func WithWorkers(w int) Option {
+	return func(s *settings) { s.eng.Workers = w }
+}
+
+// WithBudget sets the per-link, per-round bandwidth allowance. The zero
+// budget selects core.DefaultBudget(n); a non-zero budget unable to
+// carry one whole message is rejected by New.
+func WithBudget(b core.Budget) Option {
+	return func(s *settings) { s.eng.Budget = b }
+}
+
+// WithMaxRounds pins the per-pass round bound. An explicit bound is
+// authoritative: kernels cannot raise it via MaxRoundsHint, and a pass
+// that fails to quiesce within it fails with engine.ErrMaxRounds. Zero
+// restores the adaptive default (4n+64, raised per pass by kernel
+// hints); negative values are rejected by New.
+func WithMaxRounds(m int) Option {
+	return func(s *settings) {
+		s.eng.MaxRounds = m
+		s.explicitMaxRounds = m != 0
+	}
+}
+
+// WithRoundHook installs a streaming observability tap: h is invoked
+// synchronously after every executed engine round, across all passes
+// and kernels of the session, with that round's stats. It must not call
+// back into the session.
+func WithRoundHook(h func(engine.RoundStats)) Option {
+	return func(s *settings) { s.eng.RoundHook = h }
+}
+
+// WithEngineOptions replaces the session's engine options wholesale —
+// the bridge for legacy callers holding an engine.Options value.
+// Field-level options applied after it still win.
+func WithEngineOptions(o engine.Options) Option {
+	return func(s *settings) {
+		s.eng = o
+		s.explicitMaxRounds = o.MaxRounds != 0
+	}
+}
+
+// Stats is a session's cumulative accounting across every engine pass
+// it has executed, for every kernel run on it.
+type Stats struct {
+	// Runs counts engine passes (a pipeline kernel contributes one per
+	// stage product).
+	Runs int
+	// Kernels counts kernels run to completion.
+	Kernels int
+	// Engine accumulates rounds, routed words, bytes, and wall time
+	// over all passes. PerRound is not aggregated — round numbers
+	// restart at zero each pass, so concatenating them would mislead;
+	// use LastRun or WithRoundHook for per-round detail.
+	Engine engine.Stats
+}
+
+// Session is a reusable handle on one simulated clique: the engine's
+// worker pool, router slabs, and bandwidth counters are built once and
+// stay warm across every Run. Sessions are not safe for concurrent use
+// and must be released with Close.
+type Session struct {
+	g                 *graph.CSR
+	eng               *engine.Engine
+	explicitMaxRounds bool
+	stats             Stats
+	last              *engine.Stats
+	closed            bool
+}
+
+// New builds a session over graph g (the clique size is g.N). Invalid
+// options — negative worker or round counts, a bandwidth budget below
+// one message word — are rejected here with a descriptive error.
+func New(g *graph.CSR, opts ...Option) (*Session, error) {
+	if g == nil {
+		return nil, errors.New("clique: New requires a graph (use NewSize for graph-free sessions)")
+	}
+	return newSession(g, g.N, opts)
+}
+
+// NewSize builds a graph-free session for a clique of n nodes — the
+// home for kernels whose inputs are not graphs, such as the matmul
+// product kernels that carry their operand matrices. Kernels that need
+// the session graph fail their Run with a descriptive error.
+func NewSize(n int, opts ...Option) (*Session, error) {
+	return newSession(nil, n, opts)
+}
+
+func newSession(g *graph.CSR, n int, opts []Option) (*Session, error) {
+	var s settings
+	for _, opt := range opts {
+		opt(&s)
+	}
+	e, err := engine.New(n, s.eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{g: g, eng: e, explicitMaxRounds: s.explicitMaxRounds}, nil
+}
+
+// Graph returns the graph the session was built over, or nil for a
+// NewSize session.
+func (s *Session) Graph() *graph.CSR { return s.g }
+
+// N returns the clique size.
+func (s *Session) N() int { return s.eng.NumNodes() }
+
+// Stats returns the session's cumulative accounting. The returned copy
+// keeps growing semantics simple: it reflects everything executed so
+// far and is not invalidated by later runs.
+func (s *Session) Stats() Stats { return s.stats }
+
+// LastRun returns the full stats (including PerRound detail) of the
+// most recent engine pass, or nil if none has executed yet.
+func (s *Session) LastRun() *engine.Stats { return s.last }
+
+// Close releases the engine's worker goroutines and router slabs. The
+// session must not be used afterwards; Close is idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.eng.Close()
+}
+
+// Run executes kernel k to completion on the warm session: it asks the
+// kernel for one engine pass after another (Kernel.Nodes) until the
+// kernel reports completion with a nil node set, threading ctx's
+// cancellation and deadline into every round barrier. A non-nil empty
+// node set is a vacuous pass, not completion — that distinction keeps
+// the kernel protocol (build, run, harvest) intact on zero-node
+// sessions. On cancellation Run returns ctx.Err() and the session
+// remains usable for further kernels; partial passes are still billed
+// to Stats.
+func (s *Session) Run(ctx context.Context, k Kernel) error {
+	if s.closed {
+		return errors.New("clique: Run on a closed Session")
+	}
+	if k == nil {
+		return errors.New("clique: Run with a nil Kernel")
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		nodes, err := k.Nodes(s.g)
+		if err != nil {
+			return fmt.Errorf("clique: kernel %q: %w", k.Name(), err)
+		}
+		if nodes == nil {
+			s.stats.Kernels++
+			return nil
+		}
+		bound := 0
+		if !s.explicitMaxRounds {
+			if h, ok := k.(MaxRoundsHinter); ok {
+				bound = h.MaxRoundsHint()
+			}
+		}
+		st, err := s.eng.RunBounded(ctx, nodes, bound)
+		s.track(st)
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// OneShot runs kernel k to completion on s with a background context,
+// closes the session, and returns the session's cumulative engine
+// stats — the shared spine of the historical free-function wrappers in
+// internal/algo and internal/matmul. The stats are nil only when no
+// engine pass executed before a failure (e.g. kernel input validation),
+// matching those functions' historical contract; a successful zero-pass
+// run returns non-nil zero stats.
+func OneShot(s *Session, k Kernel) (*engine.Stats, error) {
+	defer s.Close()
+	err := s.Run(context.Background(), k)
+	if err != nil && s.stats.Runs == 0 {
+		return nil, err
+	}
+	st := s.stats.Engine
+	return &st, err
+}
+
+// track folds one engine pass into the cumulative account.
+func (s *Session) track(st *engine.Stats) {
+	if st == nil {
+		return
+	}
+	s.last = st
+	s.stats.Runs++
+	s.stats.Engine.Rounds += st.Rounds
+	s.stats.Engine.TotalMsgs += st.TotalMsgs
+	s.stats.Engine.TotalBytes += st.TotalBytes
+	s.stats.Engine.Wall += st.Wall
+}

@@ -1,0 +1,68 @@
+package clique
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// Kernel is one distributed computation runnable on a Session — the
+// composable unit of the Dory-Parter pipeline. A kernel is a node-set
+// factory plus result sink driven by Session.Run in passes:
+//
+//  1. Run calls Nodes(g) with the session graph. A non-nil node set is
+//     executed as one engine pass (all nodes from round 0 to
+//     quiescence; an empty non-nil set is a vacuous pass on a
+//     zero-node session, not completion).
+//  2. Run calls Nodes again; the kernel harvests its per-node state
+//     from the completed pass and either returns the next pass's nodes
+//     (pipeline stages, repeated matrix squarings, ...) or reports
+//     completion by returning nil.
+//  3. After completion, Result returns the kernel's output.
+//
+// Single-pass algorithms return nodes once and then harvest; pipeline
+// kernels interleave as many passes as they need — all on the same
+// warm engine, under one cumulative Stats account. Kernels are
+// single-use: run a fresh value for a fresh computation. Implementations
+// that prefer typed results should also expose a typed accessor (see
+// ResultAs for the generic bridge).
+type Kernel interface {
+	// Name identifies the kernel in errors, the registry, and reports.
+	Name() string
+	// Nodes returns the node set for the next engine pass, or nil when
+	// the kernel has completed (slices from make are non-nil even at
+	// length zero, so built passes and completion never collide). g is
+	// the session graph (nil for NewSize sessions; kernels that need
+	// it must return a descriptive error).
+	Nodes(g *graph.CSR) ([]engine.Node, error)
+	// Result returns the kernel's output after completion, nil before.
+	Result() any
+}
+
+// MaxRoundsHinter is optionally implemented by kernels whose next pass
+// may legitimately need more rounds than the engine's 4n+64 default —
+// for example streaming one very wide matrix row under a one-word link
+// cap. Session.Run consults the hint after each Nodes call and raises
+// that pass's bound to it, unless the caller pinned WithMaxRounds. A
+// hint <= 0 means "no opinion".
+type MaxRoundsHinter interface {
+	MaxRoundsHint() int
+}
+
+// ResultAs returns k's Result as a T, with a descriptive error when the
+// kernel is incomplete or produced a different type — the typed-access
+// bridge for registry-constructed kernels whose concrete type is not in
+// hand.
+func ResultAs[T any](k Kernel) (T, error) {
+	var zero T
+	r := k.Result()
+	if r == nil {
+		return zero, fmt.Errorf("clique: kernel %q has no result (did its Run complete?)", k.Name())
+	}
+	v, ok := r.(T)
+	if !ok {
+		return zero, fmt.Errorf("clique: kernel %q result is %T, not %T", k.Name(), r, zero)
+	}
+	return v, nil
+}

@@ -1,0 +1,67 @@
+package clique
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// Factory builds a fresh Kernel instance for one run over g, choosing
+// sensible demonstration parameters (source vertices, hop bounds) from
+// the graph itself so that every registered kernel is runnable on any
+// input. Registered factories power uniform iteration: cmd/ccbench's
+// -list / -kernel flags and the degenerate-graph test sweep.
+type Factory func(g *graph.CSR) (Kernel, error)
+
+var registry = struct {
+	sync.RWMutex
+	m map[string]Factory
+}{m: make(map[string]Factory)}
+
+// Register adds a kernel factory under name, following the
+// plugin-driver pattern: internal/algo and internal/matmul register
+// their kernels from init, and any importer of those packages sees them
+// in Kernels(). It panics on an empty name, a nil factory, or a
+// duplicate registration — all programmer errors at init time.
+func Register(name string, f Factory) {
+	if strings.TrimSpace(name) == "" {
+		panic("clique: Register with an empty kernel name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("clique: Register(%q) with a nil factory", name))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if _, dup := registry.m[name]; dup {
+		panic(fmt.Sprintf("clique: kernel %q registered twice", name))
+	}
+	registry.m[name] = f
+}
+
+// Kernels returns the sorted names of all registered kernels.
+func Kernels() []string {
+	registry.RLock()
+	defer registry.RUnlock()
+	names := make([]string, 0, len(registry.m))
+	for name := range registry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewKernel constructs a fresh instance of the registered kernel name
+// for graph g. Unknown names yield an error listing what is available.
+func NewKernel(name string, g *graph.CSR) (Kernel, error) {
+	registry.RLock()
+	f, ok := registry.m[name]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("clique: unknown kernel %q (registered: %s)",
+			name, strings.Join(Kernels(), ", "))
+	}
+	return f(g)
+}

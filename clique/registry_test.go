@@ -1,0 +1,108 @@
+package clique_test
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// TestRegistryListsAllShippedKernels pins the registered surface: every
+// shipped algorithm must be invocable through the registry.
+func TestRegistryListsAllShippedKernels(t *testing.T) {
+	got := clique.Kernels()
+	want := []string{"apsp", "bellman-ford", "bfs", "hop-limited", "ksource", "matmul-square"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Kernels() = %v, want %v", got, want)
+	}
+	if !sort.StringsAreSorted(got) {
+		t.Error("Kernels() not sorted")
+	}
+	if _, err := clique.NewKernel("no-such-kernel", graph.Path(2)); err == nil {
+		t.Error("unknown kernel name accepted")
+	}
+}
+
+// TestAllKernelsOnDegenerateGraphs sweeps every registered kernel over
+// the degenerate inputs that historically slip through API redesigns:
+// a single vertex and zero-edge graphs, weighted and not. Every kernel
+// must complete without error through the session API.
+func TestAllKernelsOnDegenerateGraphs(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"n1":            graph.Path(1),
+		"n1_weighted":   graph.Path(1).WithUnitWeights(),
+		"edgeless":      graph.RandomGNP(4, 0, 1),
+		"edgeless_wtd":  graph.RandomGNP(4, 0, 1).WithUniformRandomWeights(2, 9),
+		"two_connected": graph.Path(2).WithUniformRandomWeights(3, 4),
+	}
+	for gname, g := range graphs {
+		for _, kname := range clique.Kernels() {
+			t.Run(gname+"/"+kname, func(t *testing.T) {
+				s, err := clique.New(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				k, err := clique.NewKernel(kname, g)
+				if err != nil {
+					t.Fatalf("NewKernel: %v", err)
+				}
+				if err := s.Run(context.Background(), k); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if st := s.Stats(); st.Kernels != 1 {
+					t.Fatalf("Kernels = %d, want 1", st.Kernels)
+				}
+				if k.Result() == nil {
+					t.Fatal("Result() nil after successful Run")
+				}
+			})
+		}
+	}
+}
+
+// TestDegenerateDistancesAreCorrect spot-checks the values (not just
+// absence of errors) that the registry kernels produce on the
+// degenerate inputs.
+func TestDegenerateDistancesAreCorrect(t *testing.T) {
+	run := func(name string, g *graph.CSR) clique.Kernel {
+		t.Helper()
+		s, err := clique.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		k, err := clique.NewKernel(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(context.Background(), k); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return k
+	}
+
+	one := graph.Path(1)
+	if dist, err := clique.ResultAs[[]int64](run("bfs", one)); err != nil || !reflect.DeepEqual(dist, []int64{0}) {
+		t.Errorf("bfs on n=1 = %v (%v), want [0]", dist, err)
+	}
+	if dist, err := clique.ResultAs[[][]int64](run("apsp", one)); err != nil || !reflect.DeepEqual(dist, [][]int64{{0}}) {
+		t.Errorf("apsp on n=1 = %v (%v), want [[0]]", dist, err)
+	}
+
+	edgeless := graph.RandomGNP(4, 0, 1)
+	u := algo.Unreached
+	if dist, err := clique.ResultAs[[]int64](run("bellman-ford", edgeless)); err != nil ||
+		!reflect.DeepEqual(dist, []int64{0, u, u, u}) {
+		t.Errorf("bellman-ford on edgeless = %v (%v)", dist, err)
+	}
+	wantAPSP := [][]int64{{0, u, u, u}, {u, 0, u, u}, {u, u, 0, u}, {u, u, u, 0}}
+	if dist, err := clique.ResultAs[[][]int64](run("apsp", edgeless)); err != nil ||
+		!reflect.DeepEqual(dist, wantAPSP) {
+		t.Errorf("apsp on edgeless = %v (%v)", dist, err)
+	}
+}

@@ -1,20 +1,26 @@
 // ccbench runs the Congested Clique benchmark suite — the engine flood
 // workload and the matmul distance-product workload — and writes the
 // machine-readable perf baselines tracked across PRs
-// (BENCH_engine.json, BENCH_matmul.json).
+// (BENCH_engine.json, BENCH_matmul.json). It also fronts the clique
+// kernel registry: -list prints every registered kernel and -kernel
+// runs one by name on a deterministic G(n,p) instance through the
+// session API.
 //
 // Usage:
 //
 //	ccbench [-o BENCH_engine.json] [-sizes 64,256,1024] [-rounds 32] [-fanout 64]
 //	        [-matmul-o BENCH_matmul.json] [-matmul-sizes 64,256] [-matmul-p 0.1]
 //	        [-short]
+//	ccbench -list
+//	ccbench -kernel <name> [-kernel-n 64]
 //
-// Unknown flags or stray positional arguments are an error: ccbench
-// exits with status 2 and a usage message rather than silently running
-// defaults.
+// Unknown flags, stray positional arguments, and unknown kernel names
+// are an error: ccbench exits with status 2 and a diagnostic rather
+// than silently running defaults.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -23,7 +29,13 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/paper-repo-growth/doryp20/clique"
 	"github.com/paper-repo-growth/doryp20/internal/bench"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+
+	// Register the algorithm kernels with the clique registry (the
+	// matmul kernels arrive through the bench import chain).
+	_ "github.com/paper-repo-growth/doryp20/internal/algo"
 )
 
 // parseSizes parses a comma-separated clique size list. An empty (or
@@ -45,6 +57,35 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
+// runKernel executes one registered kernel on a deterministic weighted
+// G(n, p=0.15) instance through the session API and prints its
+// cumulative stats. Unknown kernel names exit 2 like other flag errors.
+func runKernel(name string, n int, stdout, stderr io.Writer) int {
+	g := graph.RandomGNP(n, 0.15, 1).WithUniformRandomWeights(2, 16)
+	k, err := clique.NewKernel(name, g)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 2
+	}
+	s, err := clique.New(g)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 1
+	}
+	defer s.Close()
+	if err := s.Run(context.Background(), k); err != nil {
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 1
+	}
+	st := s.Stats()
+	fmt.Fprintf(stdout, "%-16s %-8s %-8s %-8s %-10s %-12s %-12s\n",
+		"kernel", "n", "passes", "rounds", "msgs", "bytes", "wall")
+	fmt.Fprintf(stdout, "%-16s %-8d %-8d %-8d %-10d %-12d %-12s\n",
+		name, n, st.Runs, st.Engine.Rounds, st.Engine.TotalMsgs,
+		st.Engine.TotalBytes, st.Engine.Wall)
+	return 0
+}
+
 // run is the testable body of main: it parses args, runs both
 // workloads, and writes both reports, returning the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -58,6 +99,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	matmulSizes := fs.String("matmul-sizes", "64,256", "comma-separated clique sizes for the distance-product workload (empty skips it)")
 	matmulP := fs.Float64("matmul-p", 0.1, "G(n,p) edge probability for the distance-product workload")
 	short := fs.Bool("short", false, "smoke mode: tiny workloads for CI")
+	list := fs.Bool("list", false, "print the registered clique kernels and exit")
+	kernel := fs.String("kernel", "", "run one registered kernel by name through the session API and exit")
+	kernelN := fs.Int("kernel-n", 64, "clique size for -kernel")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / -help is a successful help request
@@ -69,6 +113,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccbench: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
 		fs.Usage()
 		return 2
+	}
+
+	if *list {
+		for _, name := range clique.Kernels() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+	if *kernel != "" {
+		if *kernelN < 1 {
+			fmt.Fprintf(stderr, "ccbench: -kernel-n %d must be >= 1\n", *kernelN)
+			return 2
+		}
+		return runKernel(*kernel, *kernelN, stdout, stderr)
 	}
 
 	if *short {

@@ -136,6 +136,55 @@ func TestEmptySizesSkipsWorkload(t *testing.T) {
 	}
 }
 
+// TestListPrintsRegisteredKernels: -list must print every registered
+// kernel (one per line, sorted) and exit 0 without running benchmarks.
+func TestListPrintsRegisteredKernels(t *testing.T) {
+	code, stdout, stderr := runCC(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"bfs", "bellman-ford", "apsp", "hop-limited", "ksource", "matmul-square"} {
+		if !strings.Contains(stdout, want+"\n") {
+			t.Errorf("-list output lacks %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "wrote") {
+		t.Errorf("-list ran a benchmark workload:\n%s", stdout)
+	}
+}
+
+// TestKernelRunsByName: -kernel runs one registered kernel through the
+// session API and reports its stats.
+func TestKernelRunsByName(t *testing.T) {
+	code, stdout, stderr := runCC(t, "-kernel", "bfs", "-kernel-n", "16")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "bfs") || !strings.Contains(stdout, "rounds") {
+		t.Fatalf("-kernel output lacks the stats table:\n%s", stdout)
+	}
+	// A multi-pass pipeline kernel also runs end to end.
+	code, stdout, _ = runCC(t, "-kernel", "ksource", "-kernel-n", "12")
+	if code != 0 || !strings.Contains(stdout, "ksource") {
+		t.Fatalf("-kernel ksource: code=%d stdout:\n%s", code, stdout)
+	}
+}
+
+// TestUnknownKernelExitsTwo: an unregistered kernel name is a usage
+// error, exit 2, like other flag errors.
+func TestUnknownKernelExitsTwo(t *testing.T) {
+	code, _, stderr := runCC(t, "-kernel", "definitely-not-registered")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "unknown kernel") {
+		t.Fatalf("stderr lacks the unknown-kernel diagnostic:\n%s", stderr)
+	}
+	if code, _, _ := runCC(t, "-kernel", "bfs", "-kernel-n", "0"); code != 2 {
+		t.Fatalf("-kernel-n 0 exit code = %d, want 2", code)
+	}
+}
+
 func TestUnwritableOutputExitsOne(t *testing.T) {
 	code, _, stderr := runCC(t, "-short", "-sizes", "16",
 		"-o", filepath.Join(t.TempDir(), "no", "such", "dir.json"))

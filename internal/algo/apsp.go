@@ -9,19 +9,6 @@ import (
 	"github.com/paper-repo-growth/doryp20/internal/matmul"
 )
 
-// accumulate folds one product's engine stats into a running total.
-// Per-round detail is deliberately dropped: round numbers restart at
-// zero for every product, so concatenating them would mislead.
-func accumulate(total *engine.Stats, s *engine.Stats) {
-	if s == nil {
-		return
-	}
-	total.Rounds += s.Rounds
-	total.TotalMsgs += s.TotalMsgs
-	total.TotalBytes += s.TotalBytes
-	total.Wall += s.Wall
-}
-
 // distMatrix converts a (min,+) matrix of distances into dense rows
 // with the package's Unreached sentinel for absent (infinite) entries.
 func distMatrix(m *matmul.Matrix) [][]int64 {
@@ -51,24 +38,19 @@ func distMatrix(m *matmul.Matrix) [][]int64 {
 // algebraic skeleton of the Dory-Parter pipeline, where sparsified
 // products and hopsets shrink each product's cost further. Distances
 // are returned as dense rows with Unreached for disconnected pairs, and
-// the stats aggregate every product's rounds and routed words.
+// the stats aggregate every product's rounds and routed words. APSP is
+// a thin wrapper over running an APSPKernel on a single-use clique
+// session.
 func APSP(g *graph.CSR, opts engine.Options) ([][]int64, *engine.Stats, error) {
-	a, err := minplusAdjacency(g)
-	if err != nil {
+	if err := checkDistanceInput(g); err != nil {
 		return nil, nil, err
 	}
-	stats := &engine.Stats{}
-	mopts := matmul.Options{Engine: opts}
-	d := a
-	for span := 1; span < g.N-1; span *= 2 {
-		var s *engine.Stats
-		d, s, err = matmul.Mul(d, d, mopts)
-		accumulate(stats, s)
-		if err != nil {
-			return nil, stats, err
-		}
+	k := NewAPSPKernel()
+	stats, err := runGraphKernel(g, k, opts)
+	if err != nil {
+		return nil, stats, err
 	}
-	return distMatrix(d), stats, nil
+	return k.Dist(), stats, nil
 }
 
 // HopLimitedDistances computes the truncated distance matrix d^h:
@@ -77,15 +59,33 @@ func APSP(g *graph.CSR, opts engine.Options) ([][]int64, *engine.Stats, error) {
 // distance operator — the object hopsets exist to shrink h for — and it
 // equals the h-th (min,+) power of the reflexive adjacency matrix,
 // computed here by square-and-multiply in O(log h) engine products.
+// HopLimitedDistances is a thin wrapper over running a HopLimitedKernel
+// on a single-use clique session.
 func HopLimitedDistances(g *graph.CSR, h int, opts engine.Options) ([][]int64, *engine.Stats, error) {
 	if h < 0 {
 		return nil, nil, fmt.Errorf("algo: negative hop bound %d", h)
 	}
-	d, stats, err := minplusPower(g, h, opts)
+	if err := checkDistanceInput(g); err != nil {
+		return nil, nil, err
+	}
+	k := NewHopLimitedKernel(h)
+	stats, err := runGraphKernel(g, k, opts)
 	if err != nil {
 		return nil, stats, err
 	}
-	return distMatrix(d), stats, nil
+	return k.Dist(), stats, nil
+}
+
+// checkDistanceInput enforces the historical strictness of the
+// distance-product free functions: the graph must be explicitly
+// weighted (registry-constructed kernels instead fall back to unit
+// weights). Weight non-negativity is validated once inside the kernel
+// (minplusAdjacency), not re-scanned here.
+func checkDistanceInput(g *graph.CSR) error {
+	if !g.Weighted() {
+		return fmt.Errorf("algo: distance products require a weighted graph")
+	}
+	return nil
 }
 
 // minplusAdjacency validates g and builds its reflexive (min,+)
@@ -95,63 +95,8 @@ func minplusAdjacency(g *graph.CSR) (*matmul.Matrix, error) {
 	if !g.Weighted() {
 		return nil, fmt.Errorf("algo: distance products require a weighted graph")
 	}
-	for _, w := range g.Weights {
-		if w < 0 {
-			return nil, fmt.Errorf("algo: distance products require non-negative weights, got %d", w)
-		}
+	if err := checkNonNegative("distance products", g); err != nil {
+		return nil, err
 	}
 	return matmul.FromGraph(g, core.MinPlus(), true)
-}
-
-// minplusPower returns A^h over (min,+), where A is the reflexive
-// adjacency matrix of g, via square-and-multiply on the engine (exact
-// exponentiation, as hop-limited semantics require). h = 0 yields the
-// identity (every vertex at distance 0 from itself only).
-func minplusPower(g *graph.CSR, h int, opts engine.Options) (*matmul.Matrix, *engine.Stats, error) {
-	// The reflexive (min,+) power stabilizes at A^(n-1) — every simple
-	// shortest path has at most n-1 edges — so larger exponents would
-	// only spend engine products on bit-identical results.
-	if limit := g.N - 1; h > limit {
-		if limit < 0 {
-			limit = 0
-		}
-		h = limit
-	}
-	a, err := minplusAdjacency(g)
-	if err != nil {
-		return nil, nil, err
-	}
-	sr := core.MinPlus()
-	stats := &engine.Stats{}
-	mopts := matmul.Options{Engine: opts}
-	// Square-and-multiply over the semiring. result stays nil until the
-	// first set bit so we never pay an Identity ⊗ A product.
-	var result *matmul.Matrix
-	base := a
-	for e := h; e > 0; e >>= 1 {
-		if e&1 == 1 {
-			if result == nil {
-				result = base
-			} else {
-				var s *engine.Stats
-				result, s, err = matmul.Mul(result, base, mopts)
-				accumulate(stats, s)
-				if err != nil {
-					return nil, stats, err
-				}
-			}
-		}
-		if e > 1 {
-			var s *engine.Stats
-			base, s, err = matmul.Mul(base, base, mopts)
-			accumulate(stats, s)
-			if err != nil {
-				return nil, stats, err
-			}
-		}
-	}
-	if result == nil {
-		result = matmul.Identity(g.N, sr)
-	}
-	return result, stats, nil
 }

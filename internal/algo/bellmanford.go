@@ -52,33 +52,19 @@ func (nd *bfordNode) Round(ctx *engine.Ctx, r core.Round, inbox []engine.Message
 // weighted g (non-negative integer weights) by iterated parallel edge
 // relaxation over the engine. It returns the distance vector
 // (Unreached for unreachable vertices) and the run's engine stats.
+// BellmanFord is a thin wrapper over running a BellmanFordKernel on a
+// single-use clique session; unlike the registry-constructed kernel it
+// keeps the historical strictness of rejecting unweighted graphs.
 func BellmanFord(g *graph.CSR, src core.NodeID, opts engine.Options) ([]int64, *engine.Stats, error) {
 	if !g.Weighted() {
 		return nil, nil, fmt.Errorf("algo: BellmanFord requires a weighted graph")
 	}
-	if int(src) >= g.N || src < 0 {
-		return nil, nil, fmt.Errorf("algo: BellmanFord source %d out of range [0,%d)", src, g.N)
-	}
-	for _, w := range g.Weights {
-		if w < 0 {
-			return nil, nil, fmt.Errorf("algo: BellmanFord requires non-negative weights, got %d", w)
-		}
-	}
-	nodes := make([]engine.Node, g.N)
-	state := make([]bfordNode, g.N)
-	for i := range state {
-		state[i] = bfordNode{g: g, src: src, dist: Unreached}
-		nodes[i] = &state[i]
-	}
-	stats, err := engine.New(nodes, opts).Run()
+	k := NewBellmanFordKernel(src)
+	stats, err := runGraphKernel(g, k, opts)
 	if err != nil {
 		return nil, stats, err
 	}
-	dist := make([]int64, g.N)
-	for i := range state {
-		dist[i] = state[i].dist
-	}
-	return dist, stats, nil
+	return k.Dist(), stats, nil
 }
 
 // BellmanFordRef is the sequential reference: classic |V|-1 passes of

@@ -7,11 +7,17 @@
 // route the paper takes to its exponential speedup. Every algorithm is
 // verified against a sequential reference implementation, and the two
 // distributed pipelines are cross-checked against each other.
+//
+// Each algorithm is packaged as a clique.Kernel (kernels.go) and
+// registered with the clique session registry, so callers compose them
+// on one warm clique.Session — KSourceDistances (ksource.go) is the
+// in-repo demonstration, chaining hop-limited matrix powering with
+// per-source relaxation, the exact skeleton the hopset construction
+// will drop into. The free functions in this package remain as thin
+// single-use-session wrappers.
 package algo
 
 import (
-	"fmt"
-
 	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
@@ -55,26 +61,16 @@ func (nd *bfsNode) Round(ctx *engine.Ctx, r core.Round, inbox []engine.Message) 
 
 // BFS computes single-source hop distances on g by running a parallel
 // breadth-first flood over the engine. It returns the distance vector
-// (Unreached for unreachable vertices) and the run's engine stats.
+// (Unreached for unreachable vertices) and the run's engine stats. BFS
+// is a thin wrapper over running a BFSKernel on a single-use clique
+// session; compose with other stages via clique.Session directly.
 func BFS(g *graph.CSR, src core.NodeID, opts engine.Options) ([]int64, *engine.Stats, error) {
-	if int(src) >= g.N || src < 0 {
-		return nil, nil, fmt.Errorf("algo: BFS source %d out of range [0,%d)", src, g.N)
-	}
-	nodes := make([]engine.Node, g.N)
-	state := make([]bfsNode, g.N)
-	for i := range state {
-		state[i] = bfsNode{g: g, src: src, dist: Unreached}
-		nodes[i] = &state[i]
-	}
-	stats, err := engine.New(nodes, opts).Run()
+	k := NewBFSKernel(src)
+	stats, err := runGraphKernel(g, k, opts)
 	if err != nil {
 		return nil, stats, err
 	}
-	dist := make([]int64, g.N)
-	for i := range state {
-		dist[i] = state[i].dist
-	}
-	return dist, stats, nil
+	return k.Dist(), stats, nil
 }
 
 // BFSRef is the sequential reference: a textbook queue-based BFS.

@@ -1,0 +1,34 @@
+package algo
+
+import (
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// TestZeroPassSuccessReturnsStats is the regression test for the
+// session-wrapper stats contract: free functions that legitimately
+// complete without a single engine pass (APSP on n <= 2, hop bound 0)
+// must still return non-nil zero stats, as they always have — callers
+// dereference stats after checking err.
+func TestZeroPassSuccessReturnsStats(t *testing.T) {
+	g := graph.Path(2).WithUniformRandomWeights(1, 3)
+	dist, stats, err := APSP(g, engine.Options{})
+	if err != nil {
+		t.Fatalf("APSP: %v", err)
+	}
+	if stats == nil {
+		t.Fatal("APSP returned nil stats on a zero-pass success")
+	}
+	if dist[0][1] != g.Weights[0] {
+		t.Fatalf("dist[0][1] = %d, want %d", dist[0][1], g.Weights[0])
+	}
+	if _, stats, err = HopLimitedDistances(g, 0, engine.Options{}); err != nil || stats == nil {
+		t.Fatalf("HopLimitedDistances(0): stats=%v err=%v, want non-nil stats", stats, err)
+	}
+	// Validation failures keep the historical nil-stats contract.
+	if _, stats, err = APSP(graph.Path(3), engine.Options{}); err == nil || stats != nil {
+		t.Fatalf("unweighted APSP: stats=%v err=%v, want nil stats + error", stats, err)
+	}
+}

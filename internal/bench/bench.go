@@ -101,7 +101,7 @@ func Flood(n, rounds, fanout int) (Result, error) {
 	for i := range nodes {
 		nodes[i] = &floodNode{n: n, fanout: fanout, rounds: rounds}
 	}
-	stats, err := engine.New(nodes, engine.Options{MaxRounds: rounds + 2}).Run()
+	stats, err := engine.RunOnce(nodes, engine.Options{MaxRounds: rounds + 2})
 	if err != nil {
 		return Result{}, fmt.Errorf("bench: flood n=%d: %w", n, err)
 	}

@@ -82,7 +82,7 @@ func BenchmarkEngineFlood(b *testing.B) {
 		for j := range nodes {
 			nodes[j] = &floodBenchNode{n: n, fanout: fanout, rounds: rounds}
 		}
-		stats, err := New(nodes, Options{MaxRounds: rounds + 2}).Run()
+		stats, err := RunOnce(nodes, Options{MaxRounds: rounds + 2})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -6,6 +6,14 @@
 // zero-allocation router (see router.go), enforces the model's
 // O(log n)-bit per-link bandwidth budget, and collects per-round stats.
 //
+// An Engine is reusable: New sizes it for a clique of n nodes, each
+// Run(ctx, nodes) executes one node set to quiescence, and the worker
+// pool, router slabs, and bandwidth counters stay warm across runs.
+// The clique package (the public session API) layers kernel dispatch
+// and cumulative accounting on top of exactly this reuse. Close
+// releases the workers and slabs; RunOnce bundles New/Run/Close for
+// single-shot callers.
+//
 // The Outbox helper (outbox.go) layers balanced, budget-paced
 // all-to-all exchange on top of Ctx.Send: queue any multiset of
 // (destination, word) messages and flush them over as many rounds as
@@ -14,6 +22,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -37,19 +46,53 @@ type Node interface {
 // and a MaxRounds of 4n+64.
 type Options struct {
 	// Workers is the number of scheduler workers (and router shards).
-	// Defaults to runtime.GOMAXPROCS(0), clamped to n.
+	// Defaults to runtime.GOMAXPROCS(0), clamped to n. Negative values
+	// are rejected by Validate/New.
 	Workers int
-	// MaxRounds bounds the execution; Run returns ErrMaxRounds if the
-	// system has not quiesced by then. Defaults to 4n+64.
+	// MaxRounds bounds each run; Run returns ErrMaxRounds if the
+	// system has not quiesced by then. Defaults to 4n+64. Negative
+	// values are rejected by Validate/New.
 	MaxRounds int
-	// Budget is the per-link bandwidth allowance. Zero value means
-	// core.DefaultBudget(n).
+	// Budget is the per-link bandwidth allowance. The zero value means
+	// core.DefaultBudget(n); any other value must be able to carry at
+	// least one whole message (BitsPerLink >= MsgBits >= 1) or
+	// Validate/New rejects it.
 	Budget core.Budget
+	// RoundHook, when non-nil, is invoked synchronously from the run
+	// loop after every executed round (including the final quiet one)
+	// with that round's stats — the streaming-observability tap the
+	// clique session API exposes via WithRoundHook. It must not call
+	// back into the engine.
+	RoundHook func(RoundStats)
+}
+
+// Validate rejects option values that would otherwise slip through to
+// confusing runtime behavior: negative worker or round counts, and
+// non-default budgets too small to carry a single message word.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("engine: Options.Workers %d is negative (0 selects the GOMAXPROCS default)", o.Workers)
+	}
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("engine: Options.MaxRounds %d is negative (0 selects the 4n+64 default)", o.MaxRounds)
+	}
+	if o.Budget != (core.Budget{}) {
+		if o.Budget.MsgBits < 1 {
+			return fmt.Errorf("engine: Options.Budget.MsgBits %d cannot frame a message (want >= 1, or the zero Budget for the default)", o.Budget.MsgBits)
+		}
+		if o.Budget.BitsPerLink < o.Budget.MsgBits {
+			return fmt.Errorf("engine: Options.Budget allows %d bits per link, below one %d-bit message word", o.Budget.BitsPerLink, o.Budget.MsgBits)
+		}
+	}
+	return nil
 }
 
 // ErrMaxRounds is returned by Run when MaxRounds elapse before the
 // system quiesces (a round in which no node sends any message).
 var ErrMaxRounds = errors.New("engine: MaxRounds reached before quiescence")
+
+// ErrClosed is returned by Run after Close has released the engine.
+var ErrClosed = errors.New("engine: Run on a closed Engine")
 
 // RoundStats records one executed round.
 type RoundStats struct {
@@ -111,24 +154,40 @@ const (
 	cmdScatter
 )
 
-// Engine runs a set of nodes under the Congested Clique round model.
+// Engine runs node sets under the Congested Clique round model. It is
+// sized for a fixed clique of n nodes at New and may execute any number
+// of sequential Run calls (each with its own node set) before Close;
+// the worker goroutines, router slabs, and inbox banks are reused
+// across runs. An Engine is not safe for concurrent use.
 type Engine struct {
 	n       int
-	nodes   []Node
 	opts    Options
 	workers int
 	rt      *router
 	ctxs    []*Ctx
 	lo, hi  []int // node ranges per worker
 	errs    []error
+	nodes   []Node
 	round   core.Round
+
+	cmds    []chan workerCmd
+	barrier sync.WaitGroup
+	started bool
+	closed  bool
 }
 
-// New builds an engine over the given nodes. len(nodes) is the clique
-// size n; nodes[i] is the handler for NodeID i.
-func New(nodes []Node, opts Options) *Engine {
-	n := len(nodes)
-	if opts.Workers <= 0 {
+// New builds an engine for a clique of n nodes after validating opts.
+// Worker goroutines are spawned lazily on the first Run, so an Engine
+// that never runs holds no resources beyond memory; after the first Run
+// the pool stays warm until Close.
+func New(n int, opts Options) (*Engine, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative clique size %d", n)
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Workers == 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Workers > n && n > 0 {
@@ -137,7 +196,7 @@ func New(nodes []Node, opts Options) *Engine {
 	if n == 0 {
 		opts.Workers = 1
 	}
-	if opts.MaxRounds <= 0 {
+	if opts.MaxRounds == 0 {
 		opts.MaxRounds = 4*n + 64
 	}
 	if opts.Budget == (core.Budget{}) {
@@ -146,7 +205,6 @@ func New(nodes []Node, opts Options) *Engine {
 	w := opts.Workers
 	e := &Engine{
 		n:       n,
-		nodes:   nodes,
 		opts:    opts,
 		workers: w,
 		rt:      newRouter(n, w, w, opts.Budget),
@@ -154,6 +212,7 @@ func New(nodes []Node, opts Options) *Engine {
 		lo:      make([]int, w),
 		hi:      make([]int, w),
 		errs:    make([]error, w),
+		cmds:    make([]chan workerCmd, w),
 	}
 	for i := 0; i < w; i++ {
 		// Contiguous node ranges, aligned with the router's shard
@@ -162,7 +221,47 @@ func New(nodes []Node, opts Options) *Engine {
 		e.hi[i] = int(e.rt.bounds[i+1])
 		e.ctxs[i] = &Ctx{rt: e.rt, w: i, n: n}
 	}
-	return e
+	return e, nil
+}
+
+// NumNodes returns the clique size the engine was built for.
+func (e *Engine) NumNodes() int { return e.n }
+
+// start spawns the persistent workers: one buffered command channel
+// each, a shared WaitGroup as the phase barrier. No goroutine spawns
+// and no channel allocations happen inside the round loop.
+func (e *Engine) start() {
+	for w := 0; w < e.workers; w++ {
+		e.cmds[w] = make(chan workerCmd, 1)
+		go func(w int) {
+			for cmd := range e.cmds[w] {
+				switch cmd {
+				case cmdRunNodes:
+					e.runNodes(w)
+				case cmdScatter:
+					e.rt.scatterShard(w)
+				}
+				e.barrier.Done()
+			}
+		}(w)
+	}
+	e.started = true
+}
+
+// Close shuts down the worker pool and returns the router's slabs to
+// the shared pool. The engine must not be used afterwards; Close is
+// idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.started {
+		for _, ch := range e.cmds {
+			close(ch)
+		}
+	}
+	e.rt.release()
 }
 
 // runNodes executes phase A for worker w: invoke every owned node's
@@ -179,53 +278,76 @@ func (e *Engine) runNodes(w int) {
 	}
 }
 
-// Run executes rounds until quiescence (a round in which zero messages
-// are sent), a node handler returns an error, or MaxRounds elapse
-// (ErrMaxRounds). The returned Stats are valid in all cases and cover
-// every executed round.
-func (e *Engine) Run() (*Stats, error) {
+// Run executes one node set from round 0 until quiescence (a round in
+// which zero messages are sent), a node handler error, context
+// cancellation, or MaxRounds (ErrMaxRounds). len(nodes) must equal the
+// clique size the engine was built for; nodes[i] handles NodeID i.
+//
+// Cancellation is observed at the round barrier: the deadline or cancel
+// of ctx stops the run before the next round starts and Run returns
+// ctx.Err(). Handlers are never interrupted mid-round — the model is
+// synchronous — so a cancelled run leaves the engine in a clean
+// between-rounds state, ready for the next Run.
+//
+// The returned Stats are valid in all cases and cover every executed
+// round of this run.
+func (e *Engine) Run(ctx context.Context, nodes []Node) (*Stats, error) {
+	return e.RunBounded(ctx, nodes, 0)
+}
+
+// RunBounded is Run with a per-run round bound: maxRounds > 0 overrides
+// Options.MaxRounds for this run only (kernels with wide streaming
+// phases raise it via the clique session's MaxRoundsHint protocol);
+// maxRounds <= 0 keeps the configured value.
+func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*Stats, error) {
 	stats := &Stats{}
+	if e.closed {
+		return stats, ErrClosed
+	}
+	if len(nodes) != e.n {
+		return stats, fmt.Errorf("engine: %d nodes for a clique sized %d", len(nodes), e.n)
+	}
+	if maxRounds <= 0 {
+		maxRounds = e.opts.MaxRounds
+	}
 	if e.n == 0 {
 		return stats, nil
 	}
-	defer e.rt.release()
 
-	// Persistent workers: one buffered command channel each, a shared
-	// WaitGroup as the phase barrier. No goroutine spawns and no
-	// channel allocations inside the round loop.
-	cmds := make([]chan workerCmd, e.workers)
-	var barrier sync.WaitGroup
-	for w := 0; w < e.workers; w++ {
-		cmds[w] = make(chan workerCmd, 1)
-		go func(w int) {
-			for cmd := range cmds[w] {
-				switch cmd {
-				case cmdRunNodes:
-					e.runNodes(w)
-				case cmdScatter:
-					e.rt.scatterShard(w)
-				}
-				barrier.Done()
-			}
-		}(w)
+	// Rewind to a pristine round 0: clear any state a previous run left
+	// behind (stale inbox banks or out-buffers from an error or a
+	// cancelled run), reset the per-worker send counters, and rebind
+	// the node set. Slab and inbox capacity is retained, so reuse stays
+	// allocation-free in steady state.
+	e.nodes = nodes
+	e.round = 0
+	e.rt.reset()
+	for _, c := range e.ctxs {
+		c.sent = 0
 	}
-	defer func() {
-		for _, ch := range cmds {
-			close(ch)
-		}
-	}()
+	for i := range e.errs {
+		e.errs[i] = nil
+	}
+	if !e.started {
+		e.start()
+	}
+	defer func() { e.nodes = nil }()
 
 	runStart := time.Now()
 	var prevSent uint64
-	for i := 0; i < e.opts.MaxRounds; i++ {
+	for i := 0; i < maxRounds; i++ {
+		if err := ctx.Err(); err != nil {
+			stats.Wall = time.Since(runStart)
+			return stats, err
+		}
 		t0 := time.Now()
 
 		// Phase A: all round handlers in parallel.
-		barrier.Add(e.workers)
-		for _, ch := range cmds {
+		e.barrier.Add(e.workers)
+		for _, ch := range e.cmds {
 			ch <- cmdRunNodes
 		}
-		barrier.Wait()
+		e.barrier.Wait()
 		for _, err := range e.errs {
 			if err != nil {
 				stats.Wall = time.Since(runStart)
@@ -234,11 +356,11 @@ func (e *Engine) Run() (*Stats, error) {
 		}
 
 		// Phase B: parallel scatter, shard s by worker s.
-		barrier.Add(e.workers)
-		for _, ch := range cmds {
+		e.barrier.Add(e.workers)
+		for _, ch := range e.cmds {
 			ch <- cmdScatter
 		}
-		barrier.Wait()
+		e.barrier.Wait()
 		e.rt.finishRound()
 
 		var sentTotal uint64
@@ -259,6 +381,9 @@ func (e *Engine) Run() (*Stats, error) {
 		stats.Rounds++
 		stats.TotalMsgs += rs.Msgs
 		stats.TotalBytes += rs.Bytes
+		if e.opts.RoundHook != nil {
+			e.opts.RoundHook(rs)
+		}
 
 		if roundMsgs == 0 {
 			stats.Wall = time.Since(runStart)
@@ -267,4 +392,16 @@ func (e *Engine) Run() (*Stats, error) {
 	}
 	stats.Wall = time.Since(runStart)
 	return stats, ErrMaxRounds
+}
+
+// RunOnce builds a single-use engine over nodes, runs it to quiescence
+// with a background context, and tears it down — the convenience path
+// for callers that do not reuse the worker pool across runs.
+func RunOnce(nodes []Node, opts Options) (*Stats, error) {
+	e, err := New(len(nodes), opts)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	return e.Run(context.Background(), nodes)
 }

@@ -1,11 +1,14 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/paper-repo-growth/doryp20/internal/core"
 )
@@ -37,7 +40,7 @@ func TestRingToken(t *testing.T) {
 	for i := range nodes {
 		nodes[i] = &ringNode{n: n, hops: hops}
 	}
-	stats, err := New(nodes, Options{MaxRounds: hops + 8}).Run()
+	stats, err := RunOnce(nodes, Options{MaxRounds: hops + 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +67,7 @@ func TestMaxRounds(t *testing.T) {
 		}),
 		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error { return nil }),
 	}
-	stats, err := New(nodes, Options{MaxRounds: 12}).Run()
+	stats, err := RunOnce(nodes, Options{MaxRounds: 12})
 	if !errors.Is(err, ErrMaxRounds) {
 		t.Fatalf("err = %v, want ErrMaxRounds", err)
 	}
@@ -84,16 +87,173 @@ func TestHandlerErrorPropagates(t *testing.T) {
 			return ctx.Send(0, 0)
 		}),
 	}
-	_, err := New(nodes, Options{}).Run()
+	_, err := RunOnce(nodes, Options{})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want wrapped boom", err)
 	}
 }
 
 func TestEmptyEngine(t *testing.T) {
-	stats, err := New(nil, Options{}).Run()
+	stats, err := RunOnce(nil, Options{})
 	if err != nil || stats.Rounds != 0 {
 		t.Fatalf("empty engine: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestOptionsValidate: negative worker/round counts and sub-word
+// budgets must be rejected at New with a descriptive error instead of
+// slipping through to weird runtime behavior.
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		want string // substring the error must mention
+	}{
+		{"negative workers", Options{Workers: -3}, "Workers"},
+		{"negative max rounds", Options{MaxRounds: -1}, "MaxRounds"},
+		{"budget below one word", Options{Budget: core.Budget{BitsPerLink: 32, MsgBits: 64}}, "Budget"},
+		{"budget with zero msg bits", Options{Budget: core.Budget{BitsPerLink: 64}}, "Budget"},
+		{"budget with negative msg bits", Options{Budget: core.Budget{BitsPerLink: 64, MsgBits: -8}}, "Budget"},
+	}
+	for _, tc := range cases {
+		if err := tc.opts.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.opts)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if _, err := New(4, tc.opts); err == nil {
+			t.Errorf("%s: New accepted %+v", tc.name, tc.opts)
+		}
+	}
+	// The zero value and explicit sane values must still pass.
+	for _, ok := range []Options{{}, {Workers: 2, MaxRounds: 10}, {Budget: core.DefaultBudget(4)}} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("Validate rejected valid options %+v: %v", ok, err)
+		}
+	}
+	if _, err := New(-1, Options{}); err == nil {
+		t.Error("New accepted a negative clique size")
+	}
+}
+
+// TestRunContextCancellation: a node set that never quiesces must be
+// stopped at the round barrier by the context deadline, returning
+// ctx.Err() with valid partial stats.
+func TestRunContextCancellation(t *testing.T) {
+	nodes := []Node{
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error {
+			return ctx.Send(1, uint64(r))
+		}),
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error { return nil }),
+	}
+	e, err := New(len(nodes), Options{MaxRounds: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	stats, err := e.Run(ctx, nodes)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if stats.Rounds == 0 {
+		t.Error("no rounds executed before the deadline hit")
+	}
+	// A pre-cancelled context stops the run before round 0.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	stats, err = e.Run(pre, nodes)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v, want context.Canceled", err)
+	}
+	if stats.Rounds != 0 {
+		t.Errorf("pre-cancelled run executed %d rounds, want 0", stats.Rounds)
+	}
+	// The engine must stay usable after cancellation: a fresh run on
+	// the same warm workers completes normally.
+	done := []Node{
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error {
+			if r == 0 {
+				return ctx.Send(1, 42)
+			}
+			return nil
+		}),
+		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error {
+			for _, m := range inbox {
+				if m.Payload != 42 {
+					t.Errorf("stale payload %d leaked into the next run", m.Payload)
+				}
+			}
+			return nil
+		}),
+	}
+	stats, err = e.Run(context.Background(), done)
+	if err != nil {
+		t.Fatalf("run after cancellation: %v", err)
+	}
+	if stats.TotalMsgs != 1 {
+		t.Errorf("TotalMsgs = %d, want 1", stats.TotalMsgs)
+	}
+}
+
+// TestEngineReuseMatchesFresh: repeated Run calls on one warm engine
+// must produce the same results and stats as fresh engines, and a run
+// after Close must fail with ErrClosed.
+func TestEngineReuseMatchesFresh(t *testing.T) {
+	const n, hops = 16, 40
+	build := func() []Node {
+		nodes := make([]Node, n)
+		for i := range nodes {
+			nodes[i] = &ringNode{n: n, hops: hops}
+		}
+		return nodes
+	}
+	e, err := New(n, Options{MaxRounds: hops + 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		stats, err := e.Run(context.Background(), build())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if stats.TotalMsgs != hops || stats.Rounds != hops+1 {
+			t.Fatalf("trial %d: msgs=%d rounds=%d, want %d/%d",
+				trial, stats.TotalMsgs, stats.Rounds, hops, hops+1)
+		}
+	}
+	e.Close()
+	if _, err := e.Run(context.Background(), build()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+	e.Close() // idempotent
+}
+
+// TestRoundHookStreams: the hook must observe every executed round, in
+// order, with stats matching the run's PerRound record.
+func TestRoundHookStreams(t *testing.T) {
+	const n, hops = 8, 12
+	var seen []RoundStats
+	opts := Options{
+		MaxRounds: hops + 8,
+		RoundHook: func(rs RoundStats) { seen = append(seen, rs) },
+	}
+	nodes := make([]Node, n)
+	for i := range nodes {
+		nodes[i] = &ringNode{n: n, hops: hops}
+	}
+	stats, err := RunOnce(nodes, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != stats.Rounds {
+		t.Fatalf("hook saw %d rounds, want %d", len(seen), stats.Rounds)
+	}
+	for i, rs := range seen {
+		if rs.Round != core.Round(i) || rs.Msgs != stats.PerRound[i].Msgs {
+			t.Fatalf("hook round %d = %+v, PerRound = %+v", i, rs, stats.PerRound[i])
+		}
 	}
 }
 
@@ -134,7 +294,7 @@ func runEcho(t *testing.T, n, workers int) map[core.NodeID][]string {
 	for i := range nodes {
 		nodes[i] = &echoNode{n: n, trace: trace, mu: &mu}
 	}
-	if _, err := New(nodes, Options{Workers: workers}).Run(); err != nil {
+	if _, err := RunOnce(nodes, Options{Workers: workers}); err != nil {
 		t.Fatal(err)
 	}
 	return trace

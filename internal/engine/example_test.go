@@ -41,7 +41,7 @@ func Example() {
 		state[i] = ringNode{n: n}
 		nodes[i] = &state[i]
 	}
-	stats, err := engine.New(nodes, engine.Options{Workers: 2}).Run()
+	stats, err := engine.RunOnce(nodes, engine.Options{Workers: 2})
 	if err != nil {
 		panic(err)
 	}

@@ -57,7 +57,7 @@ func TestOutboxDrainsUnderBudget(t *testing.T) {
 	for i := range state {
 		nodes[i] = &state[i]
 	}
-	stats, err := New(nodes, Options{}).Run()
+	stats, err := RunOnce(nodes, Options{})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -99,7 +99,7 @@ func TestOutboxSurfacesBandwidthError(t *testing.T) {
 	for i := range state {
 		nodes[i] = &state[i]
 	}
-	_, err := New(nodes, Options{}).Run()
+	_, err := RunOnce(nodes, Options{})
 	var bwe *BandwidthError
 	if !errors.As(err, &bwe) {
 		t.Fatalf("Run error = %v, want *BandwidthError", err)
@@ -133,7 +133,7 @@ func TestOutboxPushSharedBroadcast(t *testing.T) {
 	for i := range state {
 		nodes[i] = &state[i]
 	}
-	stats, err := New(nodes, Options{}).Run()
+	stats, err := RunOnce(nodes, Options{})
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -173,7 +173,7 @@ func TestOutboxPushSharedSegments(t *testing.T) {
 	for i := range state {
 		nodes[i] = &state[i]
 	}
-	if _, err := New(nodes, Options{}).Run(); err != nil {
+	if _, err := RunOnce(nodes, Options{}); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	got := state[2].got[0]

@@ -190,6 +190,29 @@ func (rt *router) scatterShard(s int) {
 	}
 }
 
+// reset rewinds the router to a pristine round 0 for engine reuse:
+// both inbox banks and all out-buffers are truncated (capacity kept,
+// so reuse allocates nothing), the bandwidth epoch advances so every
+// per-link counter reads as zero, and the round counter restarts. A
+// run that ended in quiescence leaves nothing to clear, but a run cut
+// short by a handler error or context cancellation can leave queued
+// out-buffer messages and a filled spare bank behind.
+func (rt *router) reset() {
+	for d := 0; d < rt.n; d++ {
+		rt.inbox[d] = rt.inbox[d][:0]
+		rt.spare[d] = rt.spare[d][:0]
+	}
+	for w := range rt.out {
+		for s := range rt.out[w] {
+			if buf := rt.out[w][s]; buf != nil {
+				rt.out[w][s] = buf[:0]
+			}
+		}
+	}
+	rt.curEpoch++
+	rt.round = 0
+}
+
 // finishRound swaps the inbox banks and advances the bandwidth epoch.
 // Must be called after every shard's scatterShard has completed.
 func (rt *router) finishRound() {

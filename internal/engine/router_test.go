@@ -77,7 +77,7 @@ func TestExactlyOnceDelivery(t *testing.T) {
 			sentLog: sent, recvLog: recv, recvedAt: recvAt,
 		}
 	}
-	stats, err := New(nodes, Options{}).Run()
+	stats, err := RunOnce(nodes, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestBandwidthCapViolation(t *testing.T) {
 			return sendErr
 		})
 	}
-	_, err := New(nodes, Options{}).Run()
+	_, err := RunOnce(nodes, Options{})
 	var bwe *BandwidthError
 	if !errors.As(sendErr, &bwe) {
 		t.Fatalf("second Send returned %v, want *BandwidthError", sendErr)
@@ -172,7 +172,7 @@ func TestWiderBudgetAllowsBurst(t *testing.T) {
 			return nil
 		}),
 	}
-	if _, err := New(nodes, opts).Run(); err != nil {
+	if _, err := RunOnce(nodes, opts); err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 4 {
@@ -205,7 +205,7 @@ func TestWideBudgetBeyond255(t *testing.T) {
 			return nil
 		}),
 	}
-	if _, err := New(nodes, opts).Run(); err != nil {
+	if _, err := RunOnce(nodes, opts); err != nil {
 		t.Fatal(err)
 	}
 	if delivered != 300 {
@@ -230,7 +230,7 @@ func TestInvalidDestination(t *testing.T) {
 		}),
 		funcNode(func(ctx *Ctx, r core.Round, inbox []Message) error { return nil }),
 	}
-	if _, err := New(nodes, Options{}).Run(); err != nil {
+	if _, err := RunOnce(nodes, Options{}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -197,6 +197,23 @@ func Grid(rows, cols int) *CSR {
 	return fromUndirectedEdges(n, edges)
 }
 
+// WithUnitWeights returns g itself when it already carries weights, or
+// a view of g (sharing the index structure) in which every arc weighs
+// 1 — the canonical embedding of an unweighted graph into the weighted
+// algorithms, under which shortest weighted paths coincide with BFS hop
+// distances. Registry-constructed kernels use it so that every
+// registered algorithm is runnable on any input graph.
+func (g *CSR) WithUnitWeights() *CSR {
+	if g.Weights != nil {
+		return g
+	}
+	w := make([]int64, len(g.Targets))
+	for i := range w {
+		w[i] = 1
+	}
+	return &CSR{N: g.N, Offsets: g.Offsets, Targets: g.Targets, Weights: w}
+}
+
 // WithUniformRandomWeights returns a copy of g carrying deterministic
 // symmetric integer weights in [1, maxW]. The weight of edge {u,v} is a
 // pure function of (seed, min(u,v), max(u,v)), so both arc directions

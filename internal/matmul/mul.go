@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/paper-repo-growth/doryp20/clique"
 	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 )
@@ -172,58 +173,129 @@ func (nd *mulNode) Round(ctx *engine.Ctx, r core.Round, inbox []engine.Message) 
 	}
 }
 
-// runProduct wires n mulNodes (node v holding packed B-row packed[v]
-// and a cols-wide accumulator) into the engine and runs to quiescence.
-// It returns the per-node accumulator rows — views tiling the flat
-// n*cols slab, also returned so dense callers can wrap it without
-// copying — plus the run's stats.
-func runProduct(a *Matrix, packed [][]uint64, cols int, wf wireFormat, opts Options) ([][]int64, []int64, *engine.Stats, error) {
-	n := a.N
-	if opts.Engine.MaxRounds <= 0 {
-		// The paced drain of the widest row takes ~len rounds at one
-		// word per link per round, which for dense operands (K columns)
-		// can exceed the engine's n-scaled default of 4n+64. Size the
-		// bound from the actual widest row so legal products never hit
-		// ErrMaxRounds.
-		maxRow := 0
-		for _, row := range packed {
-			if len(row) > maxRow {
-				maxRow = len(row)
+// Pass is one validated, packed distributed product C = A ⊗ B prepared
+// as a single engine pass: n mulNodes, node v holding row v of both
+// operands and accumulating row v of C. Kernels hand a Pass's Nodes to
+// a clique session and harvest the result with Sparse or Dense after
+// the pass quiesces — the unit that pipeline kernels (repeated
+// squaring, hopset powering, k-source relaxation) chain on one warm
+// session.
+type Pass struct {
+	n, cols int
+	sr      core.Semiring
+	maxRow  int
+	nodes   []engine.Node
+	accs    [][]int64
+	flat    []int64
+}
+
+// NewPass validates and packs the sparse product A ⊗ B. unpaced selects
+// the budget-violating single-round response mode used only to
+// regression-test the pacing (see Options.Unpaced).
+func NewPass(a, b *Matrix, unpaced bool) (*Pass, error) {
+	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
+		return nil, err
+	}
+	wf := newWireFormat(a.N)
+	if err := wf.checkPackable(b.Vals, b.Sr.Zero, "matrix"); err != nil {
+		return nil, err
+	}
+	return newPass(a, packRows(b, wf), a.N, wf, unpaced), nil
+}
+
+// NewDensePass validates and packs the sparse-dense product A ⊗ B with
+// B (and C) n x k dense. Zero entries of B are not transmitted.
+func NewDensePass(a *Matrix, b *Dense, unpaced bool) (*Pass, error) {
+	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
+		return nil, err
+	}
+	wf := newWireFormat(b.K)
+	if err := wf.checkPackable(b.Vals, b.Sr.Zero, "dense"); err != nil {
+		return nil, err
+	}
+	packed := make([][]uint64, b.N)
+	for v := 0; v < b.N; v++ {
+		row := b.Row(core.NodeID(v))
+		words := make([]uint64, 0, len(row))
+		for j, val := range row {
+			if val == b.Sr.Zero {
+				continue
 			}
+			words = append(words, wf.pack(j, val))
 		}
-		opts.Engine.MaxRounds = 4*n + 64 + maxRow
+		packed[v] = words
 	}
-	nodes := make([]engine.Node, n)
-	state := make([]mulNode, n)
-	accs := make([][]int64, n)
-	flat := make([]int64, n*cols)
+	return newPass(a, packed, b.K, wf, unpaced), nil
+}
+
+// newPass wires n mulNodes (node v holding packed B-row packed[v] and a
+// cols-wide accumulator) over a flat n*cols result slab.
+func newPass(a *Matrix, packed [][]uint64, cols int, wf wireFormat, unpaced bool) *Pass {
+	n := a.N
+	p := &Pass{
+		n:    n,
+		cols: cols,
+		sr:   a.Sr,
+		accs: make([][]int64, n),
+		flat: make([]int64, n*cols),
+	}
+	for _, row := range packed {
+		if len(row) > p.maxRow {
+			p.maxRow = len(row)
+		}
+	}
 	if a.Sr.Zero != 0 {
-		for i := range flat {
-			flat[i] = a.Sr.Zero
+		for i := range p.flat {
+			p.flat[i] = a.Sr.Zero
 		}
 	}
+	p.nodes = make([]engine.Node, n)
+	state := make([]mulNode, n)
 	for v := 0; v < n; v++ {
 		aCols, aVals := a.Row(core.NodeID(v))
-		accs[v] = flat[v*cols : (v+1)*cols]
+		p.accs[v] = p.flat[v*cols : (v+1)*cols]
 		state[v] = mulNode{
 			sr:     a.Sr,
 			wf:     wf,
 			aCols:  aCols,
 			aVals:  aVals,
 			packed: packed[v],
-			acc:    accs[v],
-			unpace: opts.Unpaced,
+			acc:    p.accs[v],
+			unpace: unpaced,
 		}
-		if !opts.Unpaced {
+		if !unpaced {
 			state[v].ob = engine.NewOutbox(n)
 		}
-		nodes[v] = &state[v]
+		p.nodes[v] = &state[v]
 	}
-	stats, err := engine.New(nodes, opts.Engine).Run()
-	if err != nil {
-		return nil, nil, stats, err
+	return p
+}
+
+// Nodes returns the pass's node set for one engine run.
+func (p *Pass) Nodes() []engine.Node { return p.nodes }
+
+// MaxRoundsHint sizes the round bound from the widest packed row: the
+// paced drain of that row takes ~len rounds at one word per link per
+// round, which for dense operands (K columns) can exceed the engine's
+// n-scaled 4n+64 default. Sizing from the actual data means legal
+// products never hit engine.ErrMaxRounds.
+func (p *Pass) MaxRoundsHint() int { return 4*p.n + 64 + p.maxRow }
+
+// Sparse assembles the accumulated result as a sparse Matrix. Call it
+// only after the pass's engine run has quiesced.
+func (p *Pass) Sparse() *Matrix {
+	bld := newBuilder(p.n, p.sr)
+	for _, acc := range p.accs {
+		bld.appendRow(acc)
 	}
-	return accs, flat, stats, nil
+	return bld.m
+}
+
+// Dense returns the accumulated result as an n x cols Dense — the
+// accumulator slab already is the row-major result, so this is
+// copy-free. Call it only after the pass's engine run has quiesced.
+func (p *Pass) Dense() *Dense {
+	return &Dense{N: p.n, K: p.cols, Sr: p.sr, Vals: p.flat}
 }
 
 // packRows converts each sparse row of b into wire words.
@@ -240,60 +312,46 @@ func packRows(b *Matrix, wf wireFormat) [][]uint64 {
 	return packed
 }
 
+// runKernel executes one matmul kernel on a throwaway graph-free
+// session sized n — the bridge that keeps the free-function entry
+// points as thin wrappers over the session API (see clique.OneShot for
+// the stats contract).
+func runKernel(n int, k clique.Kernel, eopts engine.Options) (*engine.Stats, error) {
+	s, err := clique.NewSize(n, clique.WithEngineOptions(eopts))
+	if err != nil {
+		return nil, err
+	}
+	return clique.OneShot(s, k)
+}
+
 // Mul computes the sparse product C = A ⊗ B on the round engine: n
 // clique nodes, node v holding row v of each operand, communicating
 // only bounded words through the sharded router under the per-link
 // budget. The returned stats are the engine's own accounting of the
 // product — rounds executed and words routed. Values of B must fit the
 // wire format's value field (64 - ceil(log2 n) bits); the product fails
-// fast with a descriptive error otherwise.
+// fast with a descriptive error otherwise. Mul is a thin wrapper over
+// running a MulKernel on a single-use clique session.
 func Mul(a, b *Matrix, opts Options) (*Matrix, *engine.Stats, error) {
-	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
-		return nil, nil, err
-	}
-	wf := newWireFormat(a.N)
-	if err := wf.checkPackable(b.Vals, b.Sr.Zero, "matrix"); err != nil {
-		return nil, nil, err
-	}
-	accs, _, stats, err := runProduct(a, packRows(b, wf), a.N, wf, opts)
+	k := &MulKernel{a: a, b: b, unpaced: opts.Unpaced}
+	stats, err := runKernel(a.N, k, opts.Engine)
 	if err != nil {
 		return nil, stats, err
 	}
-	bld := newBuilder(a.N, a.Sr)
-	for _, acc := range accs {
-		bld.appendRow(acc)
-	}
-	return bld.m, stats, nil
+	return k.Product(), stats, nil
 }
 
 // MulDense computes the sparse-dense product C = A ⊗ B on the round
 // engine, with B and C n x k dense (k is typically a small set of
 // sources whose distance columns are being relaxed). Zero entries of B
-// are not transmitted; values must fit 64 - ceil(log2 k) bits.
+// are not transmitted; values must fit 64 - ceil(log2 k) bits. MulDense
+// is a thin wrapper over running a MulDenseKernel on a single-use
+// clique session.
 func MulDense(a *Matrix, b *Dense, opts Options) (*Dense, *engine.Stats, error) {
-	if err := checkPair(a.N, b.N, a.Sr, b.Sr); err != nil {
-		return nil, nil, err
-	}
-	wf := newWireFormat(b.K)
-	if err := wf.checkPackable(b.Vals, b.Sr.Zero, "dense"); err != nil {
-		return nil, nil, err
-	}
-	packed := make([][]uint64, b.N)
-	for v := 0; v < b.N; v++ {
-		row := b.Row(core.NodeID(v))
-		words := make([]uint64, 0, len(row))
-		for j, val := range row {
-			if val == b.Sr.Zero {
-				continue
-			}
-			words = append(words, wf.pack(j, val))
-		}
-		packed[v] = words
-	}
-	_, flat, stats, err := runProduct(a, packed, b.K, wf, opts)
+	k := &MulDenseKernel{a: a, b: b, unpaced: opts.Unpaced}
+	stats, err := runKernel(a.N, k, opts.Engine)
 	if err != nil {
 		return nil, stats, err
 	}
-	// The accumulator slab already is the row-major n x k result.
-	return &Dense{N: a.N, K: b.K, Sr: a.Sr, Vals: flat}, stats, nil
+	return k.Product(), stats, nil
 }

@@ -256,3 +256,25 @@ func TestMulDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestMulZeroDim is the regression test for the kernel completion
+// protocol on zero-node sessions: a 0 x 0 product must return a
+// non-nil empty matrix and non-nil stats, not (nil, nil, nil).
+func TestMulZeroDim(t *testing.T) {
+	sr := core.MinPlus()
+	a := Identity(0, sr)
+	c, stats, err := Mul(a, a, Options{})
+	if err != nil {
+		t.Fatalf("Mul(0x0): %v", err)
+	}
+	if c == nil || c.N != 0 {
+		t.Fatalf("Mul(0x0) product = %v, want empty non-nil matrix", c)
+	}
+	if stats == nil {
+		t.Fatal("Mul(0x0) returned nil stats")
+	}
+	d, stats, err := MulDense(a, NewDense(0, 0, sr), Options{})
+	if err != nil || d == nil || stats == nil {
+		t.Fatalf("MulDense(0x0) = (%v, %v, %v), want non-nil product and stats", d, stats, err)
+	}
+}
