@@ -15,7 +15,8 @@ import (
 // shipped algorithm must be invocable through the registry.
 func TestRegistryListsAllShippedKernels(t *testing.T) {
 	got := clique.Kernels()
-	want := []string{"apsp", "bellman-ford", "bfs", "hop-limited", "ksource", "matmul-square"}
+	want := []string{"approx-ksource", "approx-sssp", "apsp", "bellman-ford", "bfs",
+		"hop-limited", "hopset", "ksource", "matmul-square"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Kernels() = %v, want %v", got, want)
 	}

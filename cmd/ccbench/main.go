@@ -1,15 +1,17 @@
 // ccbench runs the Congested Clique benchmark suite — the engine flood
-// workload and the matmul distance-product workload — and writes the
-// machine-readable perf baselines tracked across PRs
-// (BENCH_engine.json, BENCH_matmul.json). It also fronts the clique
-// kernel registry: -list prints every registered kernel and -kernel
-// runs one by name on a deterministic G(n,p) instance through the
-// session API.
+// workload, the matmul distance-product workload, and the hopset
+// workload (exact APSP versus hopset-based approximate SSSP) — and
+// writes the machine-readable perf baselines tracked across PRs
+// (BENCH_engine.json, BENCH_matmul.json, BENCH_hopset.json). It also
+// fronts the clique kernel registry: -list prints every registered
+// kernel and -kernel runs one by name on a deterministic G(n,p)
+// instance through the session API.
 //
 // Usage:
 //
 //	ccbench [-o BENCH_engine.json] [-sizes 64,256,1024] [-rounds 32] [-fanout 64]
 //	        [-matmul-o BENCH_matmul.json] [-matmul-sizes 64,256] [-matmul-p 0.1]
+//	        [-hopset-o BENCH_hopset.json] [-hopset-sizes 64,256,1024] [-hopset-p 0.05]
 //	        [-short]
 //	ccbench -list
 //	ccbench -kernel <name> [-kernel-n 64]
@@ -98,6 +100,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	matmulOut := fs.String("matmul-o", "BENCH_matmul.json", "matmul report output path")
 	matmulSizes := fs.String("matmul-sizes", "64,256", "comma-separated clique sizes for the distance-product workload (empty skips it)")
 	matmulP := fs.Float64("matmul-p", 0.1, "G(n,p) edge probability for the distance-product workload")
+	hopsetOut := fs.String("hopset-o", "BENCH_hopset.json", "hopset report output path")
+	hopsetSizes := fs.String("hopset-sizes", "64,256,1024", "comma-separated clique sizes for the hopset workload (empty skips it)")
+	hopsetP := fs.Float64("hopset-p", 0.05, "G(n,p) edge probability for the hopset workload")
 	short := fs.Bool("short", false, "smoke mode: tiny workloads for CI")
 	list := fs.Bool("list", false, "print the registered clique kernels and exit")
 	kernel := fs.String("kernel", "", "run one registered kernel by name through the session API and exit")
@@ -142,6 +147,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !set["matmul-sizes"] {
 			*matmulSizes = "32,64"
 		}
+		if !set["hopset-sizes"] {
+			*hopsetSizes = "32,64"
+		}
 	}
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
@@ -155,6 +163,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if !(*matmulP > 0 && *matmulP <= 1) { // negated form also rejects NaN
 		fmt.Fprintf(stderr, "ccbench: -matmul-p %v outside (0, 1]\n", *matmulP)
+		return 2
+	}
+	hsizes, err := parseSizes(*hopsetSizes)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 2
+	}
+	if !(*hopsetP > 0 && *hopsetP <= 1) { // negated form also rejects NaN
+		fmt.Fprintf(stderr, "ccbench: -hopset-p %v outside (0, 1]\n", *hopsetP)
 		return 2
 	}
 
@@ -194,6 +211,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				r.N, r.P, r.NNZIn, r.NNZOut, r.Rounds, r.Messages, r.NsPerMsg)
 		}
 		fmt.Fprintln(stdout, "wrote", *matmulOut)
+	}
+
+	if len(hsizes) > 0 {
+		hrep, err := bench.RunHopset(hsizes, *hopsetP, 1)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		if err := bench.WriteJSON(*hopsetOut, hrep); err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-8s %-6s %-6s %-8s %-14s %-14s %-8s\n",
+			"n", "beta", "hubs", "eps", "exact_rounds", "approx_rounds", "ratio")
+		for _, r := range hrep.Results {
+			fmt.Fprintf(stdout, "%-8d %-6d %-6d %-8.2f %-14d %-14d %-8.3f\n",
+				r.N, r.Beta, r.Hubs, r.Eps, r.ExactRounds, r.ApproxRounds, r.RoundsRatio)
+		}
+		fmt.Fprintln(stdout, "wrote", *hopsetOut)
 	}
 	return 0
 }

@@ -62,6 +62,9 @@ func TestBadSizeExitsNonZero(t *testing.T) {
 		{"-matmul-sizes", "0"},
 		{"-matmul-p", "1.5"},
 		{"-matmul-p", "NaN"},
+		{"-hopset-sizes", "1"},
+		{"-hopset-p", "0"},
+		{"-hopset-p", "NaN"},
 	} {
 		code, _, stderr := runCC(t, args...)
 		if code != 2 {
@@ -70,20 +73,57 @@ func TestBadSizeExitsNonZero(t *testing.T) {
 	}
 }
 
-// TestShortRunWritesBothReports runs the full smoke path end to end and
-// checks both artifacts land where pointed.
-func TestShortRunWritesBothReports(t *testing.T) {
+// TestShortRunWritesAllReports runs the full smoke path end to end and
+// checks all three artifacts land where pointed.
+func TestShortRunWritesAllReports(t *testing.T) {
 	dir := t.TempDir()
 	engPath := filepath.Join(dir, "eng.json")
 	mmPath := filepath.Join(dir, "mm.json")
+	hsPath := filepath.Join(dir, "hs.json")
 	code, stdout, stderr := runCC(t,
-		"-short", "-sizes", "16,32", "-o", engPath, "-matmul-o", mmPath)
+		"-short", "-sizes", "16,32", "-o", engPath, "-matmul-o", mmPath, "-hopset-o", hsPath)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
 	}
-	for _, p := range []string{engPath, mmPath} {
+	for _, p := range []string{engPath, mmPath, hsPath} {
 		if !strings.Contains(stdout, "wrote "+p) {
 			t.Errorf("stdout does not report writing %s:\n%s", p, stdout)
+		}
+	}
+}
+
+// TestHopsetReportBeatsExactRounds: the hopset workload's core claim —
+// approximate SSSP spends strictly fewer engine rounds than exact
+// APSP — must hold in the emitted report for every measured size.
+func TestHopsetReportBeatsExactRounds(t *testing.T) {
+	dir := t.TempDir()
+	hsPath := filepath.Join(dir, "hs.json")
+	code, _, stderr := runCC(t,
+		"-sizes", "", "-matmul-sizes", "", "-hopset-sizes", "48,96", "-hopset-o", hsPath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	data, err := os.ReadFile(hsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Results []struct {
+			N            int `json:"n"`
+			ExactRounds  int `json:"exact_rounds"`
+			ApproxRounds int `json:"approx_rounds"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %+v, want 2 entries", rep.Results)
+	}
+	for _, r := range rep.Results {
+		if r.ApproxRounds >= r.ExactRounds {
+			t.Errorf("n=%d: approx %d rounds >= exact %d — hopset must win",
+				r.N, r.ApproxRounds, r.ExactRounds)
 		}
 	}
 }
@@ -94,7 +134,7 @@ func TestShortRespectsExplicitFlags(t *testing.T) {
 	dir := t.TempDir()
 	mmPath := filepath.Join(dir, "mm.json")
 	code, _, stderr := runCC(t,
-		"-short", "-sizes", "16", "-matmul-sizes", "24",
+		"-short", "-sizes", "16", "-matmul-sizes", "24", "-hopset-sizes", "",
 		"-o", filepath.Join(dir, "eng.json"), "-matmul-o", mmPath)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
@@ -123,8 +163,10 @@ func TestEmptySizesSkipsWorkload(t *testing.T) {
 	dir := t.TempDir()
 	engPath := filepath.Join(dir, "eng.json")
 	mmPath := filepath.Join(dir, "mm.json")
+	hsPath := filepath.Join(dir, "hs.json")
 	code, stdout, stderr := runCC(t,
-		"-short", "-sizes", "16", "-matmul-sizes", "", "-o", engPath, "-matmul-o", mmPath)
+		"-short", "-sizes", "16", "-matmul-sizes", "", "-hopset-sizes", "",
+		"-o", engPath, "-matmul-o", mmPath, "-hopset-o", hsPath)
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
 	}
@@ -133,6 +175,9 @@ func TestEmptySizesSkipsWorkload(t *testing.T) {
 	}
 	if _, err := os.Stat(mmPath); !os.IsNotExist(err) {
 		t.Fatalf("matmul report written despite empty -matmul-sizes (err=%v)", err)
+	}
+	if _, err := os.Stat(hsPath); !os.IsNotExist(err) {
+		t.Fatalf("hopset report written despite empty -hopset-sizes (err=%v)", err)
 	}
 }
 

@@ -1,0 +1,162 @@
+package algo
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/hopset"
+)
+
+// checkApproxVector asserts the (1+eps) sandwich d* <= d <= (1+eps)·d*
+// against a reference distance vector, including agreement on
+// reachability.
+func checkApproxVector(t *testing.T, tag string, got, want []int64, eps float64) {
+	t.Helper()
+	for v := range want {
+		switch {
+		case want[v] == Unreached:
+			if got[v] != Unreached {
+				t.Fatalf("%s: v=%d reachable (%d) but reference says Unreached", tag, v, got[v])
+			}
+		case got[v] == Unreached:
+			t.Fatalf("%s: v=%d Unreached but reference says %d", tag, v, want[v])
+		case got[v] < want[v]:
+			t.Fatalf("%s: v=%d distance %d undershoots true %d", tag, v, got[v], want[v])
+		case float64(got[v]) > (1+eps)*float64(want[v]):
+			t.Fatalf("%s: v=%d distance %d exceeds (1+%v)·%d", tag, v, got[v], eps, want[v])
+		}
+	}
+}
+
+// TestApproxSSSPWithinEpsProperty is the approximation-ratio property
+// test: on random weighted graphs, for eps in {0.5, 0.1}, every
+// ApproxSSSPKernel distance d must satisfy d* <= d <= (1+eps)·d*
+// against the sequential BellmanFordRef oracle. The hub rate is pinned
+// to 1 (every vertex a hub) because a hard assertion deserves the
+// deterministic window-compression guarantee, not a sampling gamble —
+// the auto rate dips just below 1 at several of these sizes. The
+// sampled-hub path is covered by TestApproxSSSPSampledHubs; CI runs
+// this under -race.
+func TestApproxSSSPWithinEpsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1202))
+	for _, eps := range []float64{0.5, 0.1} {
+		for trial := 0; trial < 6; trial++ {
+			n := 5 + rng.Intn(30)
+			p := []float64{0.1, 0.25, 0.6}[trial%3]
+			maxW := int64(1 + rng.Intn(60))
+			seed := rng.Int63()
+			g := graph.RandomGNPWeighted(n, p, maxW, seed)
+			src := core.NodeID(rng.Intn(n))
+			dist, stats, err := ApproxSSSP(g, src, hopset.Params{Eps: eps, HubRate: 1, Seed: seed + 1}, engine.Options{})
+			if err != nil {
+				t.Fatalf("eps=%v trial %d (n=%d p=%.2f seed=%d): %v", eps, trial, n, p, seed, err)
+			}
+			if g.NumEdges() > 0 && stats.TotalMsgs == 0 {
+				t.Fatalf("eps=%v trial %d: approx SSSP routed no messages", eps, trial)
+			}
+			want := BellmanFordRef(g, src)
+			checkApproxVector(t, "approx-sssp", dist, want, eps)
+		}
+	}
+}
+
+// TestApproxExactModeMatchesBellmanFord: with eps = 0 no rounding
+// happens, and at the all-hubs rate the pipeline must be exactly
+// Bellman-Ford.
+func TestApproxExactModeMatchesBellmanFord(t *testing.T) {
+	g := graph.RandomGNPWeighted(18, 0.25, 40, 99)
+	dist, _, err := ApproxSSSP(g, 3, hopset.Params{HubRate: 1}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BellmanFordRef(g, 3)
+	for v := range want {
+		if dist[v] != want[v] {
+			t.Fatalf("eps=0 dist[%d] = %d, want exact %d", v, dist[v], want[v])
+		}
+	}
+}
+
+// TestApproxKSourceWithinEps: the multi-source kernel must satisfy the
+// same sandwich per source row, on one warm session shared with the
+// construction stage.
+func TestApproxKSourceWithinEps(t *testing.T) {
+	const eps = 0.1
+	g := graph.RandomGNPWeighted(24, 0.2, 25, 7)
+	sources := []core.NodeID{0, 5, 23}
+	dist, _, err := ApproxKSourceDistances(g, sources, hopset.Params{Eps: eps, HubRate: 1, Seed: 2}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, src := range sources {
+		checkApproxVector(t, "approx-ksource", dist[j], BellmanFordRef(g, src), eps)
+	}
+}
+
+// TestApproxSSSPSampledHubs exercises the sampled-hub (rate < 1) path
+// at a size where the property-test default would be all-hubs: the
+// lower bound d >= d* is structural (shortcuts carry genuine path
+// weights) and must hold for any sample; the (1+eps) upper bound is a
+// with-high-probability guarantee, pinned here for a fixed seed.
+func TestApproxSSSPSampledHubs(t *testing.T) {
+	const eps = 0.5
+	g := graph.RandomGNPWeighted(96, 0.08, 30, 4242)
+	params := hopset.Params{Eps: eps, HubRate: 0.35, Seed: 17}
+	k := NewApproxSSSPKernel(0, params)
+	s, err := clique.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Run(context.Background(), k); err != nil {
+		t.Fatal(err)
+	}
+	if hs := k.Hopset(); hs == nil || len(hs.Hubs) == 0 || len(hs.Hubs) == g.N {
+		t.Fatalf("expected a proper hub subsample, got %v", k.Hopset())
+	}
+	checkApproxVector(t, "sampled", k.Dist(), BellmanFordRef(g, 0), eps)
+}
+
+// TestApproxSSSPUsesFewerProductsThanExactKSource: the hopset swap is
+// a round-count optimization; on a long weighted path (worst case for
+// relaxation) the approximate pipeline must finish in fewer engine
+// rounds than exact APSP on the same graph.
+func TestApproxSSSPUsesFewerRoundsThanAPSP(t *testing.T) {
+	g := graph.RandomGNPWeighted(96, 0.06, 20, 11)
+	_, exact, err := APSP(g, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, approx, err := ApproxSSSP(g, 0, hopset.Params{Eps: 0.5, HubRate: 0.25, Seed: 3}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Rounds >= exact.Rounds {
+		t.Fatalf("approx SSSP took %d rounds, exact APSP %d — hopset bought nothing",
+			approx.Rounds, exact.Rounds)
+	}
+}
+
+// TestApproxRejectsBadInput mirrors the other free functions'
+// validation: unweighted graphs, out-of-range sources, and invalid
+// hopset parameters must fail fast.
+func TestApproxRejectsBadInput(t *testing.T) {
+	if _, _, err := ApproxSSSP(graph.Path(4), 0, hopset.Params{}, engine.Options{}); err == nil {
+		t.Error("unweighted graph accepted")
+	}
+	wg := graph.Path(4).WithUniformRandomWeights(1, 5)
+	if _, _, err := ApproxSSSP(wg, 9, hopset.Params{}, engine.Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, _, err := ApproxSSSP(wg, 0, hopset.Params{Eps: -1}, engine.Options{}); err == nil {
+		t.Error("negative eps accepted")
+	}
+	if _, _, err := ApproxKSourceDistances(wg, []core.NodeID{0, -1}, hopset.Params{}, engine.Options{}); err == nil {
+		t.Error("negative source accepted")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
-	"github.com/paper-repo-growth/doryp20/internal/matmul"
 )
 
 // KSourceKernel computes exact shortest-path distances from k source
@@ -33,9 +32,7 @@ type KSourceKernel struct {
 
 	stage     int // 0: unstarted, 1: powering, 2: relaxing, 3: done
 	ps        *powerState
-	s         *matmul.Matrix
-	cur       *matmul.Dense
-	pass      *matmul.Pass
+	rx        *relaxState
 	remaining int
 	n         int
 	dist      [][]int64
@@ -70,32 +67,21 @@ func (k *KSourceKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		if pass != nil {
 			return pass.Nodes(), nil
 		}
-		// Powering finished: S = A^h. Seed the source indicator columns
-		// and fall through into the relaxation stage.
-		k.s = k.ps.matrix()
+		// Powering finished: S = A^h. Hand off to the shared relaxation
+		// stage and fall through.
+		k.rx = newRelaxState(k.ps.matrix(), k.sources, k.remaining)
 		k.ps = nil
-		b := matmul.NewDense(k.n, len(k.sources), core.MinPlus())
-		for j, src := range k.sources {
-			b.Row(src)[j] = 0 // the One of (min,+): distance 0 to itself
-		}
-		k.cur = b
 		k.stage = 2
 	}
 	if k.stage == 2 {
-		if k.pass != nil {
-			k.cur = k.pass.Dense()
-			k.pass = nil
-			k.remaining--
+		pass, err := k.rx.next()
+		if err != nil {
+			return nil, err
 		}
-		if k.remaining > 0 {
-			pass, err := matmul.NewDensePass(k.s, k.cur, false)
-			if err != nil {
-				return nil, err
-			}
-			k.pass = pass
+		if pass != nil {
 			return pass.Nodes(), nil
 		}
-		k.harvest()
+		k.dist = k.rx.distRows()
 		k.stage = 3
 	}
 	return nil, nil
@@ -138,33 +124,13 @@ func (k *KSourceKernel) start(g *graph.CSR) error {
 	return nil
 }
 
-// harvest transposes the final n x k dense into per-source distance
-// rows with the Unreached sentinel.
-func (k *KSourceKernel) harvest() {
-	kk := len(k.sources)
-	k.dist = make([][]int64, kk)
-	for j := range k.dist {
-		k.dist[j] = make([]int64, k.n)
-	}
-	for v := 0; v < k.n; v++ {
-		row := k.cur.Row(core.NodeID(v))
-		for j := 0; j < kk; j++ {
-			if row[j] >= core.InfWeight {
-				k.dist[j][v] = Unreached
-			} else {
-				k.dist[j][v] = row[j]
-			}
-		}
-	}
-}
-
 // MaxRoundsHint forwards the in-flight product's round-bound hint.
 func (k *KSourceKernel) MaxRoundsHint() int {
 	if k.ps != nil {
 		return k.ps.hint()
 	}
-	if k.pass != nil {
-		return k.pass.MaxRoundsHint()
+	if k.rx != nil {
+		return k.rx.hint()
 	}
 	return 0
 }

@@ -1,0 +1,79 @@
+package algo
+
+import (
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/matmul"
+)
+
+// relaxState iterates the per-source relaxation stage shared by the
+// exact and approximate k-source pipelines: starting from the source
+// indicator columns, run `remaining` dense products B_{t+1} = S ⊗ B_t
+// over a fixed matrix S, one engine pass per product. KSourceKernel
+// instantiates it with S = A^h and ceil((n-1)/h) products for
+// exactness; the approximate kernels with S = the hopset-augmented
+// adjacency and ceil(β) products.
+type relaxState struct {
+	s         *matmul.Matrix
+	cur       *matmul.Dense
+	pass      *matmul.Pass
+	remaining int
+}
+
+// newRelaxState prepares `remaining` relaxation products of s against
+// the indicator columns of the given sources (0 at the source — the
+// One of (min,+) — Inf elsewhere).
+func newRelaxState(s *matmul.Matrix, sources []core.NodeID, remaining int) *relaxState {
+	b := matmul.NewDense(s.N, len(sources), core.MinPlus())
+	for j, src := range sources {
+		b.Row(src)[j] = 0
+	}
+	return &relaxState{s: s, cur: b, remaining: remaining}
+}
+
+// next harvests the pass returned by the previous call (if any) and
+// returns the next relaxation pass, or nil once all products have run.
+func (rs *relaxState) next() (*matmul.Pass, error) {
+	if rs.pass != nil {
+		rs.cur = rs.pass.Dense()
+		rs.pass = nil
+		rs.remaining--
+	}
+	if rs.remaining <= 0 {
+		return nil, nil
+	}
+	pass, err := matmul.NewDensePass(rs.s, rs.cur, false)
+	if err != nil {
+		return nil, err
+	}
+	rs.pass = pass
+	return pass, nil
+}
+
+// hint forwards the in-flight product's round-bound hint.
+func (rs *relaxState) hint() int {
+	if rs.pass == nil {
+		return 0
+	}
+	return rs.pass.MaxRoundsHint()
+}
+
+// distRows transposes the final n x k distance columns into per-source
+// rows with the Unreached sentinel.
+func (rs *relaxState) distRows() [][]int64 {
+	k := rs.cur.K
+	dist := make([][]int64, k)
+	for j := range dist {
+		dist[j] = make([]int64, rs.cur.N)
+	}
+	for v := 0; v < rs.cur.N; v++ {
+		row := rs.cur.Row(core.NodeID(v))
+		for j := 0; j < k; j++ {
+			if row[j] >= core.InfWeight {
+				dist[j][v] = Unreached
+			} else {
+				dist[j][v] = row[j]
+			}
+		}
+	}
+	return dist
+}

@@ -111,3 +111,33 @@ func TestWriteJSON(t *testing.T) {
 		t.Error("WriteJSON to an impossible path must fail")
 	}
 }
+
+func TestHopsetCompareSmoke(t *testing.T) {
+	res, err := HopsetCompare(48, 0.12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExactRounds == 0 || res.ApproxRounds == 0 || res.Hubs == 0 {
+		t.Fatalf("degenerate measurement: %+v", res)
+	}
+	if res.ApproxRounds >= res.ExactRounds {
+		t.Errorf("approx rounds %d >= exact %d — the hopset pipeline must win",
+			res.ApproxRounds, res.ExactRounds)
+	}
+	if res.RoundsRatio <= 0 || res.RoundsRatio >= 1 {
+		t.Errorf("RoundsRatio = %v, want in (0, 1)", res.RoundsRatio)
+	}
+}
+
+func TestRunHopsetReport(t *testing.T) {
+	rep, err := RunHopset([]int{24, 48}, 0.15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.Results[0].N != 24 || rep.Results[1].N != 48 {
+		t.Errorf("unexpected results: %+v", rep.Results)
+	}
+	if rep.Schema == "" || rep.CPUs <= 0 {
+		t.Errorf("incomplete metadata: %+v", rep)
+	}
+}

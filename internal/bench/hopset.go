@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/hopset"
+)
+
+// HopsetResult is one measured hopset configuration: exact all-pairs
+// APSP (distance-product repeated squaring) versus hopset-based
+// (1+ε)-approximate SSSP on the same deterministic weighted G(n,p)
+// instance, each on its own warm clique session. The headline column
+// is the engine round counts: the hopset pipeline must beat exact
+// APSP's, which is the whole reason the paper builds hopsets.
+type HopsetResult struct {
+	Name string `json:"name"`
+	// N and P describe the G(n,p) instance.
+	N int     `json:"n"`
+	P float64 `json:"p"`
+	// Beta, Eps, and Hubs record the hopset parameters actually used.
+	Beta int     `json:"beta"`
+	Eps  float64 `json:"eps"`
+	Hubs int     `json:"hubs"`
+	// ExactRounds / ExactMsgs / ExactWallNs account the exact APSP run.
+	ExactRounds int    `json:"exact_rounds"`
+	ExactMsgs   uint64 `json:"exact_msgs"`
+	ExactWallNs int64  `json:"exact_wall_ns"`
+	// ApproxRounds / ApproxMsgs / ApproxWallNs account the approximate
+	// SSSP run (hopset construction plus relaxation, cumulatively).
+	ApproxRounds int    `json:"approx_rounds"`
+	ApproxMsgs   uint64 `json:"approx_msgs"`
+	ApproxWallNs int64  `json:"approx_wall_ns"`
+	// RoundsRatio is ApproxRounds / ExactRounds — below 1 means the
+	// hopset pipeline wins.
+	RoundsRatio float64 `json:"rounds_ratio"`
+}
+
+// HopsetReport is the serialized shape of BENCH_hopset.json.
+type HopsetReport struct {
+	Schema string `json:"schema"`
+	Host
+	Results []HopsetResult `json:"results"`
+}
+
+// hopsetParams picks the benchmark's hopset configuration for an
+// n-vertex instance: β = 2·ceil(sqrt(n)) with a hub rate targeting
+// ~1.5·sqrt(n) hubs, the sparse-hub regime where construction cost
+// β·|hubs| ≈ 3n clearly undercuts exact APSP's ceil(log2 n) full
+// squarings. eps = 0.5 exercises the rounding path.
+func hopsetParams(n int) hopset.Params {
+	rootN := math.Sqrt(float64(n))
+	return hopset.Params{
+		Beta:    2 * int(math.Ceil(rootN)),
+		Eps:     0.5,
+		HubRate: math.Min(1, 1.5*rootN/float64(n)),
+		Seed:    7,
+	}
+}
+
+// runKernelOnSession runs one kernel on a fresh session over g and
+// returns the session's cumulative stats.
+func runKernelOnSession(g *graph.CSR, k clique.Kernel) (clique.Stats, error) {
+	s, err := clique.New(g)
+	if err != nil {
+		return clique.Stats{}, err
+	}
+	defer s.Close()
+	if err := s.Run(context.Background(), k); err != nil {
+		return clique.Stats{}, err
+	}
+	return s.Stats(), nil
+}
+
+// HopsetCompare measures exact APSP versus hopset-based approximate
+// SSSP on one deterministic weighted G(n, p) instance.
+func HopsetCompare(n int, p float64, seed int64) (HopsetResult, error) {
+	g := graph.RandomGNPWeighted(n, p, 32, seed)
+	params := hopsetParams(n)
+
+	exact, err := runKernelOnSession(g, algo.NewAPSPKernel())
+	if err != nil {
+		return HopsetResult{}, fmt.Errorf("bench: hopset n=%d exact: %w", n, err)
+	}
+	ak := algo.NewApproxSSSPKernel(0, params)
+	approx, err := runKernelOnSession(g, ak)
+	if err != nil {
+		return HopsetResult{}, fmt.Errorf("bench: hopset n=%d approx: %w", n, err)
+	}
+	hs := ak.Hopset()
+
+	res := HopsetResult{
+		Name:         "hopset_approx_sssp_vs_exact_apsp",
+		N:            n,
+		P:            p,
+		Beta:         hs.Beta,
+		Eps:          hs.Eps,
+		Hubs:         len(hs.Hubs),
+		ExactRounds:  exact.Engine.Rounds,
+		ExactMsgs:    exact.Engine.TotalMsgs,
+		ExactWallNs:  exact.Engine.Wall.Nanoseconds(),
+		ApproxRounds: approx.Engine.Rounds,
+		ApproxMsgs:   approx.Engine.TotalMsgs,
+		ApproxWallNs: approx.Engine.Wall.Nanoseconds(),
+	}
+	if exact.Engine.Rounds > 0 {
+		res.RoundsRatio = float64(approx.Engine.Rounds) / float64(exact.Engine.Rounds)
+	}
+	return res, nil
+}
+
+// RunHopset measures the hopset workload across the given clique sizes
+// and assembles the report.
+func RunHopset(sizes []int, p float64, seed int64) (*HopsetReport, error) {
+	rep := &HopsetReport{
+		Schema: "doryp20/bench-hopset/v1",
+		Host:   CurrentHost(),
+	}
+	for _, n := range sizes {
+		res, err := HopsetCompare(n, p, seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}

@@ -208,3 +208,62 @@ func TestOutboxReuse(t *testing.T) {
 		t.Fatalf("head word = %d, want 3", got)
 	}
 }
+
+// TestOutboxFlushesExactlyLinkCapPerRound is the off-by-one boundary
+// test at the bandwidth cap: with a budget of exactly 3 message words
+// per link per round, a Flush-driven drain must send exactly
+// LinkMsgCap() words on every full round — never cap-1 (a pacing
+// undershoot) and never cap+1 (a budget violation) — with the
+// remainder, and only the remainder, in the final send round. Both the
+// exact-multiple and the one-extra-word queue lengths are covered.
+func TestOutboxFlushesExactlyLinkCapPerRound(t *testing.T) {
+	const capWords = 3
+	budget := core.Budget{BitsPerLink: capWords * core.WordBits, MsgBits: core.WordBits}
+	for _, tc := range []struct {
+		queued    int
+		wantMsgs  []uint64 // per-round message counts, including the quiet round
+		wantTotal int
+	}{
+		{queued: 3 * capWords, wantMsgs: []uint64{capWords, capWords, capWords, 0}},
+		{queued: 3*capWords + 1, wantMsgs: []uint64{capWords, capWords, capWords, 1, 0}},
+		{queued: capWords - 1, wantMsgs: []uint64{capWords - 1, 0}},
+	} {
+		const n = 2
+		nodes := make([]Node, n)
+		state := make([]obNode, n)
+		ob := NewOutbox(n)
+		for k := 0; k < tc.queued; k++ {
+			ob.Push(1, uint64(k))
+		}
+		state[0].ob = ob
+		for i := range state {
+			nodes[i] = &state[i]
+		}
+		stats, err := RunOnce(nodes, Options{Budget: budget})
+		if err != nil {
+			t.Fatalf("queued=%d: %v", tc.queued, err)
+		}
+		if got := state[0].ob.Pending(); got != 0 {
+			t.Fatalf("queued=%d: %d words still pending", tc.queued, got)
+		}
+		if stats.Rounds != len(tc.wantMsgs) {
+			t.Fatalf("queued=%d: %d rounds, want %d", tc.queued, stats.Rounds, len(tc.wantMsgs))
+		}
+		for r, want := range tc.wantMsgs {
+			if got := stats.PerRound[r].Msgs; got != want {
+				t.Fatalf("queued=%d: round %d sent %d words, want exactly %d",
+					tc.queued, r, got, want)
+			}
+		}
+		// Everything arrived, in order.
+		got := state[1].got[0]
+		if len(got) != tc.queued {
+			t.Fatalf("queued=%d: delivered %d", tc.queued, len(got))
+		}
+		for k, w := range got {
+			if w != uint64(k) {
+				t.Fatalf("queued=%d: word %d = %d (order violated)", tc.queued, k, w)
+			}
+		}
+	}
+}

@@ -158,6 +158,19 @@ func RandomGNP(n int, p float64, seed int64) *CSR {
 	return fromUndirectedEdges(n, edges)
 }
 
+// RandomGNPWeighted generates a deterministic Erdos-Renyi G(n,p) graph
+// carrying symmetric integer weights drawn uniformly from [1, maxW] —
+// the canonical random weighted instance for property-testing the
+// distance pipelines on non-unit weights. The structure is exactly
+// RandomGNP(n, p, seed); the weights are derived from seed as in
+// WithUniformRandomWeights, so the same (n, p, maxW, seed) quadruple
+// always yields the identical weighted graph.
+func RandomGNPWeighted(n int, p float64, maxW int64, seed int64) *CSR {
+	// Offset the weight seed so edge structure and weights are drawn
+	// from decorrelated streams while staying a pure function of seed.
+	return RandomGNP(n, p, seed).WithUniformRandomWeights(seed+0x9e37, maxW)
+}
+
 // Path generates the path graph 0-1-2-...-(n-1).
 func Path(n int) *CSR {
 	edges := make([][2]core.NodeID, 0, max(0, n-1))

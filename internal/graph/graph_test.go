@@ -160,3 +160,60 @@ func TestWeights(t *testing.T) {
 		}
 	}
 }
+
+// TestRandomGNPWeightedDeterministic: the weighted generator is a pure
+// function of (n, p, maxW, seed): same quadruple, identical graph;
+// different seed, different weights; structure identical to RandomGNP
+// with the same seed.
+func TestRandomGNPWeightedDeterministic(t *testing.T) {
+	a := RandomGNPWeighted(60, 0.15, 25, 9)
+	b := RandomGNPWeighted(60, 0.15, 25, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same (n,p,maxW,seed) produced different weighted graphs")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Weighted() {
+		t.Fatal("RandomGNPWeighted produced an unweighted graph")
+	}
+	plain := RandomGNP(60, 0.15, 9)
+	if !reflect.DeepEqual(a.Targets, plain.Targets) || !reflect.DeepEqual(a.Offsets, plain.Offsets) {
+		t.Error("structure diverges from RandomGNP with the same seed")
+	}
+	c := RandomGNPWeighted(60, 0.15, 25, 10)
+	if reflect.DeepEqual(a.Weights, c.Weights) && reflect.DeepEqual(a.Targets, c.Targets) {
+		t.Error("different seeds produced identical weighted graphs (astronomically unlikely)")
+	}
+}
+
+// TestRandomGNPWeightedWeightRangeAndSymmetry: every weight lies in
+// [1, maxW] and both arc directions of an edge agree.
+func TestRandomGNPWeightedWeightRangeAndSymmetry(t *testing.T) {
+	const maxW = 7
+	g := RandomGNPWeighted(50, 0.2, maxW, 123)
+	for v := 0; v < g.N; v++ {
+		nbrs := g.Neighbors(core.NodeID(v))
+		ws := g.NeighborWeights(core.NodeID(v))
+		for i, u := range nbrs {
+			if ws[i] < 1 || ws[i] > maxW {
+				t.Fatalf("weight(%d,%d) = %d outside [1,%d]", v, u, ws[i], maxW)
+			}
+			// Find the reverse arc and compare.
+			un := g.Neighbors(u)
+			uw := g.NeighborWeights(u)
+			found := false
+			for k, w := range un {
+				if w == core.NodeID(v) {
+					if uw[k] != ws[i] {
+						t.Fatalf("asymmetric weight: w(%d,%d)=%d, w(%d,%d)=%d", v, u, ws[i], u, v, uw[k])
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("missing reverse arc %d->%d", u, v)
+			}
+		}
+	}
+}

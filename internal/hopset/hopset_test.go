@@ -1,0 +1,282 @@
+package hopset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/matmul"
+)
+
+// jacobiAug computes t-hop-limited distances from src over an
+// augmented (min,+) matrix by t Jacobi passes — an independent oracle
+// for the hopset property checks (it never touches the matmul product
+// code the construction itself uses).
+func jacobiAug(m *matmul.Matrix, src core.NodeID, t int) []int64 {
+	dist := make([]int64, m.N)
+	next := make([]int64, m.N)
+	for i := range dist {
+		dist[i] = core.InfWeight
+	}
+	dist[src] = 0
+	for p := 0; p < t; p++ {
+		copy(next, dist)
+		for u := 0; u < m.N; u++ {
+			if dist[u] >= core.InfWeight {
+				continue
+			}
+			cols, vals := m.Row(core.NodeID(u))
+			for i, v := range cols {
+				if cand := dist[u] + vals[i]; cand < next[v] {
+					next[v] = cand
+				}
+			}
+		}
+		dist, next = next, dist
+	}
+	return dist
+}
+
+// bellmanFordRef is the plain sequential shortest-path oracle on the
+// raw input graph (duplicated from internal/algo, which this package
+// cannot import without a cycle).
+func bellmanFordRef(g *graph.CSR, src core.NodeID) []int64 {
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = core.InfWeight
+	}
+	dist[src] = 0
+	for pass := 0; pass < g.N-1; pass++ {
+		changed := false
+		for v := 0; v < g.N; v++ {
+			if dist[v] >= core.InfWeight {
+				continue
+			}
+			cols, ws := g.Row(core.NodeID(v))
+			for i, u := range cols {
+				if cand := dist[v] + ws[i]; cand < dist[u] {
+					dist[u] = cand
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// matEqual compares the structural fields of two sparse matrices
+// (reflect.DeepEqual is unusable on whole matrices: the embedded
+// Semiring carries func fields, which are never deeply equal).
+func matEqual(a, b *matmul.Matrix) bool {
+	return a.N == b.N && a.Sr.Name == b.Sr.Name &&
+		reflect.DeepEqual(a.Rows, b.Rows) &&
+		reflect.DeepEqual(a.Cols, b.Cols) &&
+		reflect.DeepEqual(a.Vals, b.Vals)
+}
+
+// TestConstructMatchesRef: the distributed construction must agree bit
+// for bit with the sequential oracle — same hubs, same shortcut
+// matrix, same rounded base — across densities, epsilons, and hub
+// rates (including sampled ones).
+func TestConstructMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		n := 5 + rng.Intn(20)
+		p := []float64{0.1, 0.3, 0.7}[trial%3]
+		seed := rng.Int63()
+		g := graph.RandomGNPWeighted(n, p, 30, seed)
+		params := Params{
+			Eps:     []float64{0, 0.5, 0.1}[trial%3],
+			HubRate: []float64{0, 0.4, 1}[trial%3],
+			Seed:    seed + 7,
+		}
+		want, err := ConstructRef(g, params)
+		if err != nil {
+			t.Fatalf("trial %d: ConstructRef: %v", trial, err)
+		}
+		got, stats, err := Construct(g, params, engine.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: Construct: %v", trial, err)
+		}
+		if got.Beta != want.Beta || got.Eps != want.Eps {
+			t.Fatalf("trial %d: params diverged: got (%d,%v), want (%d,%v)",
+				trial, got.Beta, got.Eps, want.Beta, want.Eps)
+		}
+		if !reflect.DeepEqual(got.Hubs, want.Hubs) {
+			t.Fatalf("trial %d: hubs diverged: %v vs %v", trial, got.Hubs, want.Hubs)
+		}
+		if !matEqual(got.Shortcuts, want.Shortcuts) {
+			t.Fatalf("trial %d: shortcut matrices diverged", trial)
+		}
+		if !matEqual(got.Base, want.Base) {
+			t.Fatalf("trial %d: base matrices diverged", trial)
+		}
+		if err := got.Shortcuts.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid shortcut matrix: %v", trial, err)
+		}
+		if g.NumEdges() > 0 && len(want.Hubs) > 0 && stats.TotalMsgs == 0 {
+			t.Fatalf("trial %d: distributed construction routed no messages", trial)
+		}
+	}
+}
+
+// TestHopsetProperty verifies the defining (β, ε) guarantee end to
+// end: β-hop-limited distances over the augmented matrix bracket the
+// true distances, d* <= d^(β)_{G∪H} <= (1+ε)·d*, on random weighted
+// graphs. The hub rate is pinned to 1: with every vertex a hub the
+// bracketing is a deterministic window-compression argument, which is
+// what a hard assertion needs (the auto rate dips just below 1 at
+// several of these sizes; sampled rates are exercised by
+// TestConstructMatchesRef and the sampled-hub test in internal/algo).
+func TestHopsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2020))
+	for _, eps := range []float64{0, 0.5, 0.1} {
+		for trial := 0; trial < 4; trial++ {
+			n := 5 + rng.Intn(25)
+			seed := rng.Int63()
+			g := graph.RandomGNPWeighted(n, 0.2, 50, seed)
+			hs, err := ConstructRef(g, Params{Eps: eps, HubRate: 1, Seed: seed})
+			if err != nil {
+				t.Fatalf("eps=%v trial %d: %v", eps, trial, err)
+			}
+			aug, err := Augment(hs.Base, hs)
+			if err != nil {
+				t.Fatalf("eps=%v trial %d: Augment: %v", eps, trial, err)
+			}
+			for src := 0; src < n; src++ {
+				want := bellmanFordRef(g, core.NodeID(src))
+				got := jacobiAug(aug, core.NodeID(src), hs.Beta)
+				for v := 0; v < n; v++ {
+					if (want[v] >= core.InfWeight) != (got[v] >= core.InfWeight) {
+						t.Fatalf("eps=%v n=%d seed=%d: reachability of %d->%d diverged (true %d, hopset %d)",
+							eps, n, seed, src, v, want[v], got[v])
+					}
+					if want[v] >= core.InfWeight {
+						continue
+					}
+					if got[v] < want[v] {
+						t.Fatalf("eps=%v n=%d seed=%d: d(%d,%d) undershot: %d < true %d",
+							eps, n, seed, src, v, got[v], want[v])
+					}
+					if float64(got[v]) > (1+eps)*float64(want[v]) {
+						t.Fatalf("eps=%v n=%d seed=%d: d(%d,%d) = %d exceeds (1+eps)*%d",
+							eps, n, seed, src, v, got[v], want[v])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAugmentMergesCheaperEdge: augmentation is the entrywise (min,+)
+// sum — a shortcut cheaper than an existing edge replaces it, an
+// expensive one is ignored, and everything else is unioned.
+func TestAugmentMergesCheaperEdge(t *testing.T) {
+	g := graph.Path(4).WithUniformRandomWeights(1, 1) // unit path 0-1-2-3
+	hs, err := ConstructRef(g, Params{Beta: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aug, err := Augment(hs.Base, hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aug.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With every vertex a hub and beta = 2, the 2-hop shortcut 0-2 must
+	// appear with weight 2 while the original unit edges stay at 1.
+	if w := aug.At(0, 2); w != 2 {
+		t.Fatalf("aug[0][2] = %d, want 2-hop shortcut weight 2", w)
+	}
+	if w := aug.At(0, 1); w != 1 {
+		t.Fatalf("aug[0][1] = %d, want original unit edge", w)
+	}
+	if w := aug.At(0, 3); w != core.InfWeight {
+		t.Fatalf("aug[0][3] = %d, want absent (3 hops > beta)", w)
+	}
+}
+
+// TestConstructDegenerateInputs: tiny and edgeless graphs must
+// construct valid (possibly empty) hopsets without error.
+func TestConstructDegenerateInputs(t *testing.T) {
+	for name, g := range map[string]*graph.CSR{
+		"n1":       graph.Path(1),
+		"edgeless": graph.RandomGNP(5, 0, 1).WithUnitWeights(),
+		"pair":     graph.Path(2).WithUniformRandomWeights(2, 9),
+	} {
+		hs, _, err := Construct(g, Params{}, engine.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := hs.Shortcuts.Validate(); err != nil {
+			t.Fatalf("%s: invalid shortcuts: %v", name, err)
+		}
+		if hs.Shortcuts.N != g.N || hs.Base.N != g.N {
+			t.Fatalf("%s: dimension mismatch", name)
+		}
+	}
+}
+
+// TestNoHubsYieldsEmptyHopset: HubRate so low that sampling picks
+// nothing must yield an empty (but valid) hopset without spending
+// engine products.
+func TestNoHubsYieldsEmptyHopset(t *testing.T) {
+	g := graph.RandomGNPWeighted(12, 0.4, 9, 5)
+	hs, stats, err := Construct(g, Params{HubRate: 1e-12, Seed: 1}, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs.Hubs) != 0 || hs.Shortcuts.NNZ() != 0 {
+		t.Fatalf("hubs=%v nnz=%d, want empty", hs.Hubs, hs.Shortcuts.NNZ())
+	}
+	if stats.TotalMsgs != 0 {
+		t.Fatalf("empty construction routed %d messages", stats.TotalMsgs)
+	}
+}
+
+// TestParamsValidation: invalid parameter values must be rejected with
+// descriptive errors.
+func TestParamsValidation(t *testing.T) {
+	g := graph.Path(4).WithUnitWeights()
+	for name, p := range map[string]Params{
+		"negative beta": {Beta: -1},
+		"negative eps":  {Eps: -0.5},
+		"rate above 1":  {HubRate: 1.5},
+		"negative rate": {HubRate: -0.1},
+	} {
+		if _, err := ConstructRef(g, p); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	if _, err := ConstructRef(nil, Params{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	neg := &graph.CSR{N: 2, Offsets: []int32{0, 1, 2}, Targets: []core.NodeID{1, 0}, Weights: []int64{-3, -3}}
+	if _, err := ConstructRef(neg, Params{}); err == nil {
+		t.Error("negative weights accepted")
+	}
+}
+
+// TestDefaultBeta pins the default hop bound regime: β(β-1) covers
+// n-1, so ceil((n-1)/β) <= β-1 and β relaxation steps always have one
+// hop to spare.
+func TestDefaultBeta(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 17, 100, 1024} {
+		b := DefaultBeta(n)
+		if b < 1 {
+			t.Fatalf("DefaultBeta(%d) = %d < 1", n, b)
+		}
+		if n > 2 {
+			if windows := (n - 2 + b) / b; windows+1 > b {
+				t.Fatalf("DefaultBeta(%d) = %d: ceil((n-1)/beta)+1 = %d exceeds beta", n, b, windows+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package hopset
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/matmul"
+)
+
+// ConstructKernel computes a (β, ε)-hopset distributedly as a clique
+// session pipeline stage: after rounding the weights and sampling the
+// hub set locally (both deterministic given Params), it runs β
+// sparse-dense (min,+) products on the session engine — one engine
+// pass per hop, each product advancing every hub's distance column by
+// one hop — and harvests the shortcut star from the final columns.
+// It is the stage the approximate shortest-path kernels in
+// internal/algo embed as their stage 1; run standalone (registry name
+// "hopset") its Result is the *Hopset.
+type ConstructKernel struct {
+	params Params
+
+	stage     int // 0: unstarted, 1: products, 2: done
+	base      *matmul.Matrix
+	hubs      []core.NodeID
+	cur       *matmul.Dense
+	pass      *matmul.Pass
+	remaining int
+	hs        *Hopset
+}
+
+// NewConstructKernel returns a hopset construction kernel with the
+// given parameters (zero-value fields select the defaults; see
+// Params). Validation happens at the first Nodes call, surfacing
+// through Session.Run.
+func NewConstructKernel(p Params) *ConstructKernel {
+	return &ConstructKernel{params: p}
+}
+
+// Name identifies the kernel.
+func (k *ConstructKernel) Name() string { return "hopset" }
+
+// Nodes starts the construction on the first call, then returns one
+// limited-hop product pass per call until β products have run, and
+// finally harvests the shortcut matrix.
+func (k *ConstructKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
+	if k.stage == 0 {
+		if err := k.start(g); err != nil {
+			return nil, err
+		}
+	}
+	if k.stage == 1 {
+		if k.pass != nil {
+			k.cur = k.pass.Dense()
+			k.pass = nil
+			k.remaining--
+		}
+		if k.remaining > 0 {
+			pass, err := matmul.NewDensePass(k.base, k.cur, false)
+			if err != nil {
+				return nil, err
+			}
+			k.pass = pass
+			return pass.Nodes(), nil
+		}
+		hs, err := assemble(k.params, k.hubs, k.base, k.cur)
+		if err != nil {
+			return nil, err
+		}
+		k.hs = hs
+		k.stage = 2
+	}
+	return nil, nil
+}
+
+// start validates the inputs and prepares the product loop.
+func (k *ConstructKernel) start(g *graph.CSR) error {
+	if g == nil {
+		return fmt.Errorf("hopset: %s kernel requires a graph-bound session (clique.New, not NewSize)", k.Name())
+	}
+	p, err := k.params.withDefaults(g.N)
+	if err != nil {
+		return err
+	}
+	k.params = p
+	if k.base, err = roundedBase(g, p.Eps); err != nil {
+		return err
+	}
+	k.hubs = sampleHubs(g.N, p.HubRate, p.Seed)
+	k.cur = hubIndicator(g.N, k.hubs)
+	k.remaining = p.Beta
+	if len(k.hubs) == 0 {
+		// No hubs, no products: the hopset is (validly) empty.
+		k.remaining = 0
+	}
+	k.stage = 1
+	return nil
+}
+
+// MaxRoundsHint forwards the in-flight product's round-bound hint —
+// essential here, because a hub-distance column matrix with K hubs
+// packs up to K words per row.
+func (k *ConstructKernel) MaxRoundsHint() int {
+	if k.pass == nil {
+		return 0
+	}
+	return k.pass.MaxRoundsHint()
+}
+
+// Result returns the constructed hopset (*Hopset), nil before
+// completion.
+func (k *ConstructKernel) Result() any {
+	if k.hs == nil {
+		return nil
+	}
+	return k.hs
+}
+
+// Hopset returns the typed result, nil before completion.
+func (k *ConstructKernel) Hopset() *Hopset { return k.hs }
+
+// Construct computes a (β, ε)-hopset of g on the round engine by
+// running a ConstructKernel on a single-use clique session; callers
+// composing further stages (the point of hopsets) should run the
+// kernel on their own session instead. The returned stats are the
+// engine's accounting of the β limited-hop products.
+func Construct(g *graph.CSR, p Params, opts engine.Options) (*Hopset, *engine.Stats, error) {
+	s, err := clique.New(g, clique.WithEngineOptions(opts))
+	if err != nil {
+		return nil, nil, err
+	}
+	k := NewConstructKernel(p)
+	stats, err := clique.OneShot(s, k)
+	if err != nil {
+		return nil, stats, err
+	}
+	return k.Hopset(), stats, nil
+}
+
+// init registers the construction kernel so ccbench -kernel, the
+// degenerate-graph sweep, and the cancellation tests pick it up.
+func init() {
+	clique.Register("hopset", func(*graph.CSR) (clique.Kernel, error) {
+		return NewConstructKernel(Params{}), nil
+	})
+}
