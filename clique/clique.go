@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
@@ -36,6 +37,10 @@ type settings struct {
 	// explicitMaxRounds records that the caller pinned MaxRounds, so
 	// kernel MaxRoundsHints must not override it.
 	explicitMaxRounds bool
+	// ckptDir/ckptEvery configure pass-boundary checkpointing; see
+	// WithCheckpoint in checkpoint.go.
+	ckptDir   string
+	ckptEvery int
 }
 
 // Option configures a Session at New; see WithWorkers, WithBudget,
@@ -112,6 +117,19 @@ type Session struct {
 	stats             Stats
 	last              *engine.Stats
 	closed            bool
+
+	// Checkpoint/replay state (see checkpoint.go). digests accumulates
+	// the engine's per-round replay digests across all passes of the
+	// current kernel run; kernelPasses counts its completed passes;
+	// roundsSinceCkpt drives the WithCheckpoint cadence; stop is the
+	// RequestStop flag, observed at pass boundaries.
+	ckptDir         string
+	ckptEvery       int
+	roundsSinceCkpt int
+	digests         []uint64
+	recordDigests   bool
+	kernelPasses    int
+	stop            atomic.Bool
 }
 
 // New builds a session over graph g (the clique size is g.N). Invalid
@@ -137,11 +155,32 @@ func newSession(g *graph.CSR, n int, opts []Option) (*Session, error) {
 	for _, opt := range opts {
 		opt(&s)
 	}
+	sess := &Session{
+		g:                 g,
+		explicitMaxRounds: s.explicitMaxRounds,
+		ckptDir:           s.ckptDir,
+		ckptEvery:         s.ckptEvery,
+		recordDigests:     s.eng.RecordDigests,
+	}
+	// The session interposes on the engine's RoundHook to accumulate
+	// replay digests across passes and drive the checkpoint cadence; the
+	// caller's hook (if any) still sees every round.
+	userHook := s.eng.RoundHook
+	s.eng.RoundHook = func(rs engine.RoundStats) {
+		if sess.recordDigests {
+			sess.digests = append(sess.digests, rs.Digest)
+		}
+		sess.roundsSinceCkpt++
+		if userHook != nil {
+			userHook(rs)
+		}
+	}
 	e, err := engine.New(n, s.eng)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{g: g, eng: e, explicitMaxRounds: s.explicitMaxRounds}, nil
+	sess.eng = e
+	return sess, nil
 }
 
 // Graph returns the graph the session was built over, or nil for a
@@ -179,20 +218,43 @@ func (s *Session) Close() {
 // sessions. On cancellation Run returns ctx.Err() and the session
 // remains usable for further kernels; partial passes are still billed
 // to Stats.
+//
+// A kernel that panics — in a node's Round handler or in Nodes itself —
+// does not take the session down: the panic is recovered and returned
+// as a *KernelPanicError, and the warm engine remains usable for the
+// next kernel. When the session is configured WithCheckpoint and k is
+// Checkpointable, checkpoints are written at pass boundaries on the
+// configured cadence (see checkpoint.go); RequestStop ends the run
+// with ErrStopped at the next pass boundary after a final checkpoint.
 func (s *Session) Run(ctx context.Context, k Kernel) error {
 	if s.closed {
-		return errors.New("clique: Run on a closed Session")
+		return ErrClosed
 	}
 	if k == nil {
 		return errors.New("clique: Run with a nil Kernel")
 	}
+	// A fresh kernel run: restart the per-run digest chain, pass
+	// counter, checkpoint cadence, and any stale stop request.
+	s.digests = s.digests[:0]
+	s.kernelPasses = 0
+	s.roundsSinceCkpt = 0
+	s.stop.Store(false)
+	return s.runLoop(ctx, k)
+}
+
+// runLoop is the shared pass-driving loop of Run and Resume. It
+// assumes the per-run session state (digests, kernelPasses, stop) has
+// been initialized by its caller.
+func (s *Session) runLoop(ctx context.Context, k Kernel) error {
+	ck, checkpointing := k.(Checkpointable)
+	checkpointing = checkpointing && s.ckptDir != ""
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		nodes, err := k.Nodes(s.g)
+		nodes, err := s.safeNodes(k)
 		if err != nil {
-			return fmt.Errorf("clique: kernel %q: %w", k.Name(), err)
+			return err
 		}
 		if nodes == nil {
 			s.stats.Kernels++
@@ -207,9 +269,41 @@ func (s *Session) Run(ctx context.Context, k Kernel) error {
 		st, err := s.eng.RunBounded(ctx, nodes, bound)
 		s.track(st)
 		if err != nil {
+			var hp *engine.HandlerPanicError
+			if errors.As(err, &hp) {
+				return &KernelPanicError{Kernel: k.Name(), Node: hp.Node, Round: hp.Round, Value: hp.Value}
+			}
 			return err
 		}
+		s.kernelPasses++
+		stopping := s.stop.Load()
+		if checkpointing && (s.roundsSinceCkpt >= s.ckptEvery || stopping) {
+			if err := s.writeCheckpoint(ck); err != nil {
+				return err
+			}
+			s.roundsSinceCkpt = 0
+		}
+		if stopping {
+			s.stop.Store(false)
+			return ErrStopped
+		}
 	}
+}
+
+// safeNodes calls k.Nodes with panic containment, wrapping errors with
+// the kernel name and panics as *KernelPanicError.
+func (s *Session) safeNodes(k Kernel) (nodes []engine.Node, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			nodes = nil
+			err = &KernelPanicError{Kernel: k.Name(), Node: -1, Value: p}
+		}
+	}()
+	nodes, err = k.Nodes(s.g)
+	if err != nil {
+		return nil, fmt.Errorf("clique: kernel %q: %w", k.Name(), err)
+	}
+	return nodes, nil
 }
 
 // OneShot runs kernel k to completion on s with a background context,

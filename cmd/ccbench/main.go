@@ -14,7 +14,14 @@
 //	        [-hopset-o BENCH_hopset.json] [-hopset-sizes 64,256,1024] [-hopset-p 0.05]
 //	        [-short]
 //	ccbench -list
-//	ccbench -kernel <name> [-kernel-n 64]
+//	ccbench -kernel <name> [-kernel-n 64] [-kernel-o report.json]
+//	        [-checkpoint dir] [-ckpt-every k] [-resume file.ckpt]
+//
+// With -checkpoint, a checkpointable kernel run persists its state
+// under dir at pass boundaries, and the first SIGINT stops the run
+// cleanly at the next boundary (after a final checkpoint), writes the
+// partial -kernel-o report, and exits 0; a second SIGINT cancels hard.
+// -resume continues a run from a checkpoint file written that way.
 //
 // Unknown flags, stray positional arguments, and unknown kernel names
 // are an error: ccbench exits with status 2 and a diagnostic rather
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -59,32 +67,118 @@ func parseSizes(s string) ([]int, error) {
 	return sizes, nil
 }
 
+// kernelOpts carries the checkpoint/resume configuration of a -kernel
+// invocation.
+type kernelOpts struct {
+	// ckptDir and ckptEvery configure clique.WithCheckpoint; empty
+	// ckptDir disables checkpointing.
+	ckptDir   string
+	ckptEvery int
+	// resume, when non-empty, continues the run from that checkpoint
+	// file instead of starting fresh.
+	resume string
+	// out, when non-empty, is the machine-readable report path —
+	// written for completed and SIGINT-stopped runs alike.
+	out string
+	// signals enables the SIGINT protocol (stop at the next pass
+	// boundary, cancel hard on the second signal); off in tests.
+	signals bool
+}
+
+// kernelReport is the -kernel-o JSON document.
+type kernelReport struct {
+	Kernel     string `json:"kernel"`
+	N          int    `json:"n"`
+	Passes     int    `json:"passes"`
+	Rounds     int    `json:"rounds"`
+	Msgs       uint64 `json:"msgs"`
+	Bytes      uint64 `json:"bytes"`
+	WallNs     int64  `json:"wall_ns"`
+	Stopped    bool   `json:"stopped"`
+	Checkpoint string `json:"checkpoint,omitempty"`
+}
+
 // runKernel executes one registered kernel on a deterministic weighted
 // G(n, p=0.15) instance through the session API and prints its
-// cumulative stats. Unknown kernel names exit 2 like other flag errors.
-func runKernel(name string, n int, stdout, stderr io.Writer) int {
+// cumulative stats. Unknown kernel names exit 2 like other flag
+// errors. A run stopped by SIGINT at a pass boundary (see kernelOpts)
+// is a success: the final checkpoint and the partial report are on
+// disk for a later -resume.
+func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int {
 	g := graph.RandomGNP(n, 0.15, 1).WithUniformRandomWeights(2, 16)
 	k, err := clique.NewKernel(name, g)
 	if err != nil {
 		fmt.Fprintln(stderr, "ccbench:", err)
 		return 2
 	}
-	s, err := clique.New(g)
+	sessOpts := []clique.Option{clique.WithDigests()}
+	if opt.ckptDir != "" {
+		sessOpts = append(sessOpts, clique.WithCheckpoint(opt.ckptDir, opt.ckptEvery))
+	}
+	s, err := clique.New(g, sessOpts...)
 	if err != nil {
 		fmt.Fprintln(stderr, "ccbench:", err)
 		return 1
 	}
 	defer s.Close()
-	if err := s.Run(context.Background(), k); err != nil {
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if opt.signals {
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt)
+		defer signal.Stop(sigc)
+		go func() {
+			<-sigc
+			fmt.Fprintln(stderr, "ccbench: interrupt — stopping at the next pass boundary (^C again to abort)")
+			s.RequestStop()
+			<-sigc
+			cancel()
+		}()
+	}
+
+	if opt.resume != "" {
+		ck, ok := k.(clique.Checkpointable)
+		if !ok {
+			fmt.Fprintf(stderr, "ccbench: kernel %q does not support -resume\n", name)
+			return 2
+		}
+		err = s.Resume(ctx, ck, opt.resume)
+	} else {
+		err = s.Run(ctx, k)
+	}
+	stopped := errors.Is(err, clique.ErrStopped)
+	if err != nil && !stopped {
 		fmt.Fprintln(stderr, "ccbench:", err)
 		return 1
 	}
+
 	st := s.Stats()
 	fmt.Fprintf(stdout, "%-16s %-8s %-8s %-8s %-10s %-12s %-12s\n",
 		"kernel", "n", "passes", "rounds", "msgs", "bytes", "wall")
 	fmt.Fprintf(stdout, "%-16s %-8d %-8d %-8d %-10d %-12d %-12s\n",
 		name, n, st.Runs, st.Engine.Rounds, st.Engine.TotalMsgs,
 		st.Engine.TotalBytes, st.Engine.Wall)
+	rep := kernelReport{
+		Kernel: name, N: n, Passes: st.Runs, Rounds: st.Engine.Rounds,
+		Msgs: st.Engine.TotalMsgs, Bytes: st.Engine.TotalBytes,
+		WallNs: int64(st.Engine.Wall), Stopped: stopped,
+	}
+	if stopped {
+		if _, ok := k.(clique.Checkpointable); ok && opt.ckptDir != "" {
+			rep.Checkpoint = clique.CheckpointPath(opt.ckptDir, name)
+			fmt.Fprintln(stdout, "stopped; checkpoint at", rep.Checkpoint)
+		} else {
+			fmt.Fprintln(stdout, "stopped at a pass boundary (no checkpoint configured)")
+		}
+	}
+	if opt.out != "" {
+		if err := bench.WriteJSON(opt.out, rep); err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "wrote", opt.out)
+	}
 	return 0
 }
 
@@ -107,6 +201,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "print the registered clique kernels and exit")
 	kernel := fs.String("kernel", "", "run one registered kernel by name through the session API and exit")
 	kernelN := fs.Int("kernel-n", 64, "clique size for -kernel")
+	kernelOut := fs.String("kernel-o", "", "machine-readable report path for -kernel (empty skips it)")
+	ckptDir := fs.String("checkpoint", "", "checkpoint directory for -kernel runs (empty disables checkpointing)")
+	ckptEvery := fs.Int("ckpt-every", 1, "minimum engine rounds between -checkpoint writes")
+	resume := fs.String("resume", "", "resume the -kernel run from this checkpoint file")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / -help is a successful help request
@@ -131,7 +229,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ccbench: -kernel-n %d must be >= 1\n", *kernelN)
 			return 2
 		}
-		return runKernel(*kernel, *kernelN, stdout, stderr)
+		if *ckptEvery < 1 {
+			fmt.Fprintf(stderr, "ccbench: -ckpt-every %d must be >= 1\n", *ckptEvery)
+			return 2
+		}
+		opt := kernelOpts{
+			ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+			resume: *resume, out: *kernelOut, signals: true,
+		}
+		return runKernel(*kernel, *kernelN, opt, stdout, stderr)
+	}
+	if *ckptDir != "" || *resume != "" || *kernelOut != "" {
+		fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume/-kernel-o require -kernel")
+		return 2
 	}
 
 	if *short {

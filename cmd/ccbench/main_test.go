@@ -6,7 +6,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 func runCC(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -235,5 +237,108 @@ func TestUnwritableOutputExitsOne(t *testing.T) {
 		"-o", filepath.Join(t.TempDir(), "no", "such", "dir.json"))
 	if code != 1 {
 		t.Fatalf("exit code = %d, want 1 (stderr: %s)", code, stderr)
+	}
+}
+
+// TestKernelCheckpointAndResume drives the -checkpoint / -resume /
+// -kernel-o surface: a checkpointing run leaves a checkpoint file and
+// a JSON report behind, and a -resume from that file completes
+// successfully.
+func TestKernelCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	rep := filepath.Join(dir, "rep.json")
+	code, stdout, stderr := runCC(t, "-kernel", "apsp", "-kernel-n", "16",
+		"-checkpoint", dir, "-kernel-o", rep)
+	if code != 0 {
+		t.Fatalf("checkpointing run: code=%d stderr:\n%s", code, stderr)
+	}
+	ckpt := filepath.Join(dir, "apsp.ckpt")
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint file after run: %v (stdout:\n%s)", err, stdout)
+	}
+	data, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatalf("no report: %v", err)
+	}
+	var r kernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if r.Kernel != "apsp" || r.N != 16 || r.Stopped || r.Passes < 2 {
+		t.Fatalf("implausible report: %+v", r)
+	}
+
+	code, _, stderr = runCC(t, "-kernel", "apsp", "-kernel-n", "16", "-resume", ckpt)
+	if code != 0 {
+		t.Fatalf("-resume: code=%d stderr:\n%s", code, stderr)
+	}
+}
+
+// TestCheckpointFlagValidation pins the flag-combination errors around
+// -checkpoint / -resume.
+func TestCheckpointFlagValidation(t *testing.T) {
+	if code, _, _ := runCC(t, "-checkpoint", t.TempDir(), "-sizes", ""); code != 2 {
+		t.Fatalf("-checkpoint without -kernel: code=%d, want 2", code)
+	}
+	if code, _, _ := runCC(t, "-kernel", "apsp", "-kernel-n", "8", "-ckpt-every", "0"); code != 2 {
+		t.Fatalf("-ckpt-every 0: code=%d, want 2", code)
+	}
+	// bfs is single-pass and not checkpointable; -resume must refuse it.
+	if code, _, stderr := runCC(t, "-kernel", "bfs", "-kernel-n", "8", "-resume", "nope.ckpt"); code != 2 ||
+		!strings.Contains(stderr, "does not support -resume") {
+		t.Fatalf("-resume bfs: code=%d stderr:\n%s", code, stderr)
+	}
+	// Resuming from a missing file is a runtime failure, exit 1.
+	if code, _, _ := runCC(t, "-kernel", "apsp", "-kernel-n", "8", "-resume", "no-such-file.ckpt"); code != 1 {
+		t.Fatalf("-resume missing file: code=%d, want 1", code)
+	}
+}
+
+// TestKernelSigintStopsAtBoundary delivers a real SIGINT to a live
+// checkpointing run and requires the documented protocol: stop at the
+// next pass boundary, final checkpoint on disk, partial report with
+// stopped=true, exit 0 — then a -resume completes the run.
+func TestKernelSigintStopsAtBoundary(t *testing.T) {
+	dir := t.TempDir()
+	rep := filepath.Join(dir, "rep.json")
+	var out, errb bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-kernel", "apsp", "-kernel-n", "96",
+			"-checkpoint", dir, "-kernel-o", rep}, &out, &errb)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-done:
+		t.Skip("run completed before the interrupt could be delivered")
+	default:
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	code := <-done
+	if code != 0 {
+		t.Fatalf("interrupted run: code=%d stderr:\n%s", code, errb.String())
+	}
+	data, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatalf("no report after interrupted run: %v", err)
+	}
+	var r kernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if !r.Stopped {
+		// The signal landed after the final pass; nothing left to verify.
+		return
+	}
+	if r.Checkpoint == "" {
+		t.Fatalf("stopped report lacks checkpoint path: %+v", r)
+	}
+	if _, err := os.Stat(r.Checkpoint); err != nil {
+		t.Fatalf("stopped run left no checkpoint: %v", err)
+	}
+	if code, _, stderr := runCC(t, "-kernel", "apsp", "-kernel-n", "96", "-resume", r.Checkpoint); code != 0 {
+		t.Fatalf("resume after SIGINT: code=%d stderr:\n%s", code, stderr)
 	}
 }

@@ -200,18 +200,27 @@ func newPowerState(g *graph.CSR, h int) (*powerState, error) {
 	return &powerState{n: g.N, e: h, base: a}, nil
 }
 
+// harvest folds the completed in-flight pass (if any) back into the
+// square-and-multiply state. Idempotent — harvesting twice is a no-op —
+// so checkpointing can force it at a pass boundary before the next
+// Nodes call would.
+func (ps *powerState) harvest() {
+	if ps.pass == nil {
+		return
+	}
+	m := ps.pass.Sparse()
+	if ps.passIsSquare {
+		ps.base = m
+	} else {
+		ps.result = m
+	}
+	ps.pass = nil
+}
+
 // next harvests the pass returned by the previous call (if any) and
 // returns the next product pass, or nil once A^h is fully computed.
 func (ps *powerState) next() (*matmul.Pass, error) {
-	if ps.pass != nil {
-		m := ps.pass.Sparse()
-		if ps.passIsSquare {
-			ps.base = m
-		} else {
-			ps.result = m
-		}
-		ps.pass = nil
-	}
+	ps.harvest()
 	for ps.e > 0 {
 		if ps.phase == 0 {
 			ps.phase = 1
@@ -296,11 +305,8 @@ func (k *APSPKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 			return nil, err
 		}
 		k.d, k.n, k.span, k.started = a, g.N, 1, true
-	} else {
-		k.d = k.pass.Sparse()
-		k.pass = nil
-		k.span *= 2
 	}
+	k.harvest()
 	if k.span >= k.n-1 {
 		k.dist = distMatrix(k.d)
 		k.done = true
@@ -312,6 +318,18 @@ func (k *APSPKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 	}
 	k.pass = pass
 	return pass.Nodes(), nil
+}
+
+// harvest folds the completed squaring pass (if any) into the distance
+// matrix and doubles the covered hop horizon. Idempotent, so
+// checkpointing can force it at a pass boundary.
+func (k *APSPKernel) harvest() {
+	if k.pass == nil {
+		return
+	}
+	k.d = k.pass.Sparse()
+	k.pass = nil
+	k.span *= 2
 }
 
 // MaxRoundsHint forwards the in-flight squaring's round-bound hint.

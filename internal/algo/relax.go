@@ -30,14 +30,22 @@ func newRelaxState(s *matmul.Matrix, sources []core.NodeID, remaining int) *rela
 	return &relaxState{s: s, cur: b, remaining: remaining}
 }
 
+// harvest folds the completed in-flight product (if any) into the
+// current columns. Idempotent, so checkpointing can force it at a pass
+// boundary before the next call would.
+func (rs *relaxState) harvest() {
+	if rs.pass == nil {
+		return
+	}
+	rs.cur = rs.pass.Dense()
+	rs.pass = nil
+	rs.remaining--
+}
+
 // next harvests the pass returned by the previous call (if any) and
 // returns the next relaxation pass, or nil once all products have run.
 func (rs *relaxState) next() (*matmul.Pass, error) {
-	if rs.pass != nil {
-		rs.cur = rs.pass.Dense()
-		rs.pass = nil
-		rs.remaining--
-	}
+	rs.harvest()
 	if rs.remaining <= 0 {
 		return nil, nil
 	}

@@ -1,0 +1,171 @@
+package ckptio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// TestRoundTripAllTypes writes one of every field type and reads it
+// back, including the integrity trailer.
+func TestRoundTripAllTypes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(42)
+	w.I64(-7)
+	w.F64(math.Pi)
+	w.Bool(true)
+	w.Bool(false)
+	w.String("hopset")
+	w.String("")
+	w.U64s([]uint64{1, 2, 3})
+	w.I64s([]int64{-1, 0, core.InfWeight})
+	w.I32s([]int32{0, 5, 9})
+	w.NodeIDs([]core.NodeID{3, 1, 4})
+	w.SumTrailer()
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(buf.Len()) {
+		t.Errorf("Count = %d, buffer holds %d", w.Count(), buf.Len())
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -7 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Errorf("F64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bools did not round-trip")
+	}
+	if got := r.String(); got != "hopset" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.U64s(); !reflect.DeepEqual(got, []uint64{1, 2, 3}) {
+		t.Errorf("U64s = %v", got)
+	}
+	if got := r.I64s(); !reflect.DeepEqual(got, []int64{-1, 0, core.InfWeight}) {
+		t.Errorf("I64s = %v", got)
+	}
+	if got := r.I32s(); !reflect.DeepEqual(got, []int32{0, 5, 9}) {
+		t.Errorf("I32s = %v", got)
+	}
+	if got := r.NodeIDs(); !reflect.DeepEqual(got, []core.NodeID{3, 1, 4}) {
+		t.Errorf("NodeIDs = %v", got)
+	}
+	r.VerifySumTrailer()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncationDetected: every strict prefix of a valid stream must
+// fail with a truncation error, never decode silently.
+func TestTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1)
+	w.String("abc")
+	w.SumTrailer()
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		r.U64()
+		_ = r.String()
+		r.VerifySumTrailer()
+		if r.Err() == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", cut, len(full))
+		}
+	}
+}
+
+// TestCorruptionDetectedByTrailer: flipping any payload byte must fail
+// the integrity trailer.
+func TestCorruptionDetectedByTrailer(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(7)
+	w.I64s([]int64{10, 20})
+	w.SumTrailer()
+	data := append([]byte(nil), buf.Bytes()...)
+	data[3] ^= 0x40
+	r := NewReader(bytes.NewReader(data))
+	r.U64()
+	r.I64s()
+	r.VerifySumTrailer()
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "digest mismatch") {
+		t.Fatalf("corrupted stream error = %v, want digest mismatch", err)
+	}
+}
+
+// TestImplausibleLengthRejected: a giant length prefix must be rejected
+// before it allocates.
+func TestImplausibleLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1 << 40)
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	if got := r.I64s(); got != nil {
+		t.Errorf("I64s on corrupt length = %v", got)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("err = %v, want implausible length", err)
+	}
+}
+
+// errWriter fails after a fixed number of bytes — the short-write shape
+// checkpoint fault injection uses.
+type errWriter struct {
+	budget int
+	err    error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if len(p) <= e.budget {
+		e.budget -= len(p)
+		return len(p), nil
+	}
+	n := e.budget
+	e.budget = 0
+	return n, e.err
+}
+
+// TestStickyWriteError: the first underlying write error sticks and
+// suppresses all later writes.
+func TestStickyWriteError(t *testing.T) {
+	injected := errors.New("boom")
+	w := NewWriter(&errWriter{budget: 8, err: injected})
+	w.U64(1) // fits
+	w.U64(2) // fails
+	w.U64(3) // suppressed
+	if !errors.Is(w.Err(), injected) {
+		t.Fatalf("Err = %v, want injected error", w.Err())
+	}
+	if w.Count() != 8 {
+		t.Errorf("Count = %d, want 8", w.Count())
+	}
+}
+
+// TestShortWriteWithoutError: a Write returning n < len(p) with a nil
+// error must surface io.ErrShortWrite.
+func TestShortWriteWithoutError(t *testing.T) {
+	w := NewWriter(&errWriter{budget: 4, err: nil})
+	w.U64(1)
+	if !errors.Is(w.Err(), io.ErrShortWrite) {
+		t.Fatalf("Err = %v, want io.ErrShortWrite", w.Err())
+	}
+}

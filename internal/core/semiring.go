@@ -1,6 +1,9 @@
 package core
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // InfWeight is the +infinity sentinel for path weights: the additive
 // identity ("no entry") of the (min,+) semiring. It is set to
@@ -86,6 +89,20 @@ func MinPlus() Semiring {
 			return 1
 		},
 	}
+}
+
+// SemiringByName resolves a semiring from its Name field — the inverse
+// direction serialized matrix state needs: checkpoints store only the
+// name (the function fields cannot be serialized) and rebuild the
+// semiring on restore.
+func SemiringByName(name string) (Semiring, error) {
+	switch name {
+	case "minplus":
+		return MinPlus(), nil
+	case "booland":
+		return BoolOrAnd(), nil
+	}
+	return Semiring{}, fmt.Errorf("core: unknown semiring %q (known: minplus, booland)", name)
 }
 
 // BoolOrAnd returns the boolean (or,and) semiring over {0, 1}: Zero is

@@ -62,8 +62,20 @@ type Options struct {
 	// loop after every executed round (including the final quiet one)
 	// with that round's stats — the streaming-observability tap the
 	// clique session API exposes via WithRoundHook. It must not call
-	// back into the engine.
+	// back into the engine, with one sanctioned exception: Snapshot,
+	// which is exactly a round-barrier operation (the hook runs at the
+	// barrier). A panicking hook does not wedge the run: the panic is
+	// recovered and surfaced as the run's error (ErrRoundHookPanic).
 	RoundHook func(RoundStats)
+	// RecordDigests enables deterministic-replay verification: after
+	// every round the engine folds the freshly scattered inbox bank —
+	// every (destination, source, payload) triple in the router's
+	// deterministic delivery order — into a chained per-round FNV-1a
+	// digest, exposed via RoundStats.Digest and carried by Snapshot.
+	// Two runs are bit-identical exactly when their digest sequences
+	// match. Off by default: the round loop then pays a single branch
+	// and never touches the delivered messages.
+	RecordDigests bool
 }
 
 // Validate rejects option values that would otherwise slip through to
@@ -94,12 +106,40 @@ var ErrMaxRounds = errors.New("engine: MaxRounds reached before quiescence")
 // ErrClosed is returned by Run after Close has released the engine.
 var ErrClosed = errors.New("engine: Run on a closed Engine")
 
+// ErrRoundHookPanic wraps a panic recovered from Options.RoundHook: the
+// run stops at the barrier with this error instead of wedging the
+// worker pool, and the engine stays usable for further runs.
+var ErrRoundHookPanic = errors.New("engine: RoundHook panicked")
+
+// HandlerPanicError reports a node handler (Node.Round) that panicked.
+// The run loop recovers it on the worker, releases the phase barrier
+// normally, and returns it from Run — one misbehaving node set cannot
+// take down the shared worker pool, so a warm engine (and the clique
+// session above it) survives to run the next kernel.
+type HandlerPanicError struct {
+	// Node is the handler that panicked.
+	Node core.NodeID
+	// Round is the round it panicked in.
+	Round core.Round
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error formats the panicking node, round, and panic value.
+func (e *HandlerPanicError) Error() string {
+	return fmt.Sprintf("engine: node %d panicked in round %d: %v", e.Node, e.Round, e.Value)
+}
+
 // RoundStats records one executed round.
 type RoundStats struct {
 	Round core.Round
 	Msgs  uint64
 	Bytes uint64
 	Wall  time.Duration
+	// Digest is the chained FNV-1a replay digest of the round's
+	// delivered traffic when Options.RecordDigests is set, 0 otherwise.
+	// See Options.RecordDigests for the exact bytes folded.
+	Digest uint64
 }
 
 // Stats aggregates an entire run.
@@ -174,6 +214,20 @@ type Engine struct {
 	barrier sync.WaitGroup
 	started bool
 	closed  bool
+
+	// Replay-digest chain of the current run (RecordDigests only):
+	// digests[r] summarizes rounds 0..r, lastDigest is the chain head.
+	digests    []uint64
+	lastDigest uint64
+	// Restore state armed by RestoreSnapshot and consumed by the next
+	// RunBounded, which then continues from e.round instead of
+	// rewinding to round 0.
+	resumed       bool
+	restoredStats Stats
+	// curStats mirrors the current run's cumulative totals (PerRound
+	// excluded) at the last completed round barrier, so Snapshot can
+	// carry them without reaching into RunBounded's locals.
+	curStats Stats
 }
 
 // New builds an engine for a clique of n nodes after validating opts.
@@ -235,6 +289,9 @@ func (e *Engine) start() {
 		e.cmds[w] = make(chan workerCmd, 1)
 		go func(w int) {
 			for cmd := range e.cmds[w] {
+				if h := testHooks; h != nil && h.WorkerPhase != nil {
+					h.WorkerPhase(w, int(cmd))
+				}
 				switch cmd {
 				case cmdRunNodes:
 					e.runNodes(w)
@@ -265,17 +322,63 @@ func (e *Engine) Close() {
 }
 
 // runNodes executes phase A for worker w: invoke every owned node's
-// handler for the current round.
+// handler for the current round. A handler panic is recovered here — on
+// the worker, before the phase barrier is released — and surfaced as a
+// *HandlerPanicError run error, so a panicking kernel can never wedge
+// the pool mid-barrier.
 func (e *Engine) runNodes(w int) {
 	ctx := e.ctxs[w]
 	r := e.round
+	defer func() {
+		if p := recover(); p != nil {
+			e.errs[w] = &HandlerPanicError{Node: ctx.src, Round: r, Value: p}
+		}
+	}()
+	hooks := testHooks
 	for id := e.lo[w]; id < e.hi[w]; id++ {
 		ctx.src = core.NodeID(id)
+		if hooks != nil && hooks.NodeError != nil {
+			if err := hooks.NodeError(core.NodeID(id), r); err != nil {
+				e.errs[w] = fmt.Errorf("node %d round %d: %w", id, r, err)
+				return
+			}
+		}
 		if err := e.nodes[id].Round(ctx, r, e.rt.inbox[id]); err != nil {
 			e.errs[w] = fmt.Errorf("node %d round %d: %w", id, r, err)
 			return
 		}
 	}
+}
+
+// callRoundHook invokes the configured RoundHook with panic recovery,
+// converting a hook panic into an ErrRoundHookPanic run error.
+func (e *Engine) callRoundHook(rs RoundStats) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("%w at round %d: %v", ErrRoundHookPanic, rs.Round, p)
+		}
+	}()
+	e.opts.RoundHook(rs)
+	return nil
+}
+
+// foldInboxDigest chains the freshly scattered inbox bank into the
+// replay digest: for every destination in ID order, the destination,
+// its message count, and each (source, payload) pair in the router's
+// deterministic delivery order. Allocation-free; called once per round
+// and only when RecordDigests is set.
+func (e *Engine) foldInboxDigest() uint64 {
+	h := e.lastDigest
+	for d := 0; d < e.n; d++ {
+		box := e.rt.inbox[d]
+		h = fnv1aWord(h, uint64(d))
+		h = fnv1aWord(h, uint64(len(box)))
+		for i := range box {
+			h = fnv1aWord(h, uint64(box[i].Src))
+			h = fnv1aWord(h, box[i].Payload)
+		}
+	}
+	return h
 }
 
 // Run executes one node set from round 0 until quiescence (a round in
@@ -299,6 +402,13 @@ func (e *Engine) Run(ctx context.Context, nodes []Node) (*Stats, error) {
 // Options.MaxRounds for this run only (kernels with wide streaming
 // phases raise it via the clique session's MaxRoundsHint protocol);
 // maxRounds <= 0 keeps the configured value.
+//
+// When the engine was primed by RestoreSnapshot, the next RunBounded
+// continues the restored run instead of starting fresh: rounds resume
+// from the snapshot's round number against the snapshot's inbox bank,
+// the bound is interpreted as an absolute round number (so a resumed
+// run gets exactly the rounds the uninterrupted one had left), and the
+// returned Stats carry the snapshot's cumulative totals forward.
 func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*Stats, error) {
 	stats := &Stats{}
 	if e.closed {
@@ -314,17 +424,41 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 		return stats, nil
 	}
 
-	// Rewind to a pristine round 0: clear any state a previous run left
-	// behind (stale inbox banks or out-buffers from an error or a
-	// cancelled run), reset the per-worker send counters, and rebind
-	// the node set. Slab and inbox capacity is retained, so reuse stays
-	// allocation-free in steady state.
-	e.nodes = nodes
-	e.round = 0
-	e.rt.reset()
-	for _, c := range e.ctxs {
-		c.sent = 0
+	resumed := e.resumed
+	e.resumed = false
+	if resumed {
+		// RestoreSnapshot already loaded the inbox bank, round counter,
+		// send counters, and digest chain; only the node set and error
+		// slots need (re)binding, and the carried-over cumulative stats
+		// seed this run's totals so accounting spans the whole logical
+		// run. MaxRounds stays an absolute round bound, so a resumed
+		// run gets exactly the rounds the uninterrupted one had left.
+		stats.Rounds = e.restoredStats.Rounds
+		stats.TotalMsgs = e.restoredStats.TotalMsgs
+		stats.TotalBytes = e.restoredStats.TotalBytes
+		stats.Wall = e.restoredStats.Wall
+		e.restoredStats = Stats{}
+	} else {
+		// Rewind to a pristine round 0: clear any state a previous run
+		// left behind (stale inbox banks or out-buffers from an error
+		// or a cancelled run), reset the per-worker send counters, and
+		// restart the digest chain. Slab and inbox capacity is
+		// retained, so reuse stays allocation-free in steady state.
+		e.round = 0
+		e.rt.reset()
+		for _, c := range e.ctxs {
+			c.sent = 0
+		}
+		e.digests = e.digests[:0]
+		e.lastDigest = digestSeed
 	}
+	e.curStats = Stats{
+		Rounds:     stats.Rounds,
+		TotalMsgs:  stats.TotalMsgs,
+		TotalBytes: stats.TotalBytes,
+		Wall:       stats.Wall,
+	}
+	e.nodes = nodes
 	for i := range e.errs {
 		e.errs[i] = nil
 	}
@@ -334,10 +468,17 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 	defer func() { e.nodes = nil }()
 
 	runStart := time.Now()
+	baseWall := stats.Wall
 	var prevSent uint64
-	for i := 0; i < maxRounds; i++ {
+	for _, c := range e.ctxs {
+		prevSent += c.sent
+	}
+	for int(e.round) < maxRounds {
+		if h := testHooks; h != nil && h.BarrierEnter != nil {
+			h.BarrierEnter(e.round)
+		}
 		if err := ctx.Err(); err != nil {
-			stats.Wall = time.Since(runStart)
+			stats.Wall = baseWall + time.Since(runStart)
 			return stats, err
 		}
 		t0 := time.Now()
@@ -350,7 +491,7 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 		e.barrier.Wait()
 		for _, err := range e.errs {
 			if err != nil {
-				stats.Wall = time.Since(runStart)
+				stats.Wall = baseWall + time.Since(runStart)
 				return stats, err
 			}
 		}
@@ -376,21 +517,35 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 			Bytes: roundMsgs * uint64(e.opts.Budget.MsgBits) / 8,
 			Wall:  time.Since(t0),
 		}
+		if e.opts.RecordDigests {
+			e.lastDigest = e.foldInboxDigest()
+			e.digests = append(e.digests, e.lastDigest)
+			rs.Digest = e.lastDigest
+		}
 		e.round++
 		stats.PerRound = append(stats.PerRound, rs)
 		stats.Rounds++
 		stats.TotalMsgs += rs.Msgs
 		stats.TotalBytes += rs.Bytes
+		e.curStats = Stats{
+			Rounds:     stats.Rounds,
+			TotalMsgs:  stats.TotalMsgs,
+			TotalBytes: stats.TotalBytes,
+			Wall:       baseWall + time.Since(runStart),
+		}
 		if e.opts.RoundHook != nil {
-			e.opts.RoundHook(rs)
+			if err := e.callRoundHook(rs); err != nil {
+				stats.Wall = baseWall + time.Since(runStart)
+				return stats, err
+			}
 		}
 
 		if roundMsgs == 0 {
-			stats.Wall = time.Since(runStart)
+			stats.Wall = baseWall + time.Since(runStart)
 			return stats, nil
 		}
 	}
-	stats.Wall = time.Since(runStart)
+	stats.Wall = baseWall + time.Since(runStart)
 	return stats, ErrMaxRounds
 }
 

@@ -1,0 +1,179 @@
+// Package faults is the fault-injection harness for the Congested
+// Clique simulator: a declarative Plan is compiled into the engine's
+// test hooks (engine.SetTestHooks) and the clique checkpoint writer
+// hook (clique.SetCheckpointWriteHook) to stall workers mid-phase,
+// fail node handlers at chosen (pass, round, node) coordinates, cancel
+// runs at a precise round barrier, and corrupt or truncate checkpoint
+// writes — all without the production code paths carrying any test
+// logic beyond a nil pointer check.
+//
+// The package also hosts the headline robustness property tests:
+// crash/resume equivalence (kill a kernel at an injected fault, resume
+// from its last checkpoint, and require results and per-round replay
+// digests bit-identical to an uninterrupted run) for every registered
+// Checkpointable kernel, under the race detector.
+//
+// Plans are test-only and process-global (the hooks are package-level
+// seams); tests must Install exactly one plan at a time and Uninstall
+// it before finishing.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+)
+
+// ErrInjected is the base error of every handler fault a Plan injects;
+// match with errors.Is to distinguish injected faults from organic
+// failures.
+var ErrInjected = errors.New("faults: injected fault")
+
+// Plan declares where and how faults strike a run. The zero Plan
+// injects nothing; each fault kind activates when its fields are set.
+// Coordinates are (pass, round): passes count engine passes executed
+// while the plan is installed (a round-barrier entering round 0 starts
+// a new pass), rounds restart at zero each pass — matching how
+// multi-pass kernels see the engine.
+type Plan struct {
+	// FailNode, FailPass, FailRound inject a handler error (wrapping
+	// ErrInjected) in place of FailNode's handler at the given pass and
+	// round. Enabled when FailEnabled is set.
+	FailEnabled bool
+	FailNode    core.NodeID
+	FailPass    int
+	FailRound   core.Round
+
+	// StallWorker, StallPhase, StallFor put one worker goroutine to
+	// sleep for StallFor every time it picks up the given phase
+	// (0 = node handlers, 1 = scatter) — the rest of the pool must wait
+	// at the phase barrier, which is exactly the point. Enabled when
+	// StallFor > 0.
+	StallWorker int
+	StallPhase  int
+	StallFor    time.Duration
+
+	// CancelPass, CancelRound, Cancel call Cancel (typically a
+	// context.CancelFunc) at the top of the given round barrier.
+	// Enabled when Cancel is non-nil.
+	CancelPass  int
+	CancelRound core.Round
+	Cancel      func()
+
+	// CheckpointWriter, when non-nil, wraps every checkpoint file
+	// writer — the seam for WriteFailer's short writes and disk-full
+	// errors.
+	CheckpointWriter func(io.Writer) io.Writer
+
+	// pass tracks engine passes observed via round barriers; fired
+	// makes the handler fault one-shot so a resumed run is clean.
+	pass  atomic.Int64
+	fired atomic.Bool
+}
+
+// Install arms p: the engine's test hooks and the clique checkpoint
+// writer hook are pointed at this plan. Exactly one plan can be
+// installed at a time; callers must Uninstall before the test ends and
+// must not install while any engine is mid-run.
+func Install(p *Plan) {
+	p.pass.Store(-1)
+	engine.SetTestHooks(&engine.TestHooks{
+		BarrierEnter: p.barrierEnter,
+		NodeError:    p.nodeError,
+		WorkerPhase:  p.workerPhase,
+	})
+	clique.SetCheckpointWriteHook(p.CheckpointWriter)
+}
+
+// Uninstall removes every hook Install set, restoring zero-fault
+// production behavior.
+func Uninstall() {
+	engine.SetTestHooks(nil)
+	clique.SetCheckpointWriteHook(nil)
+}
+
+// barrierEnter counts passes (round 0 opens a new one) and fires the
+// cancellation fault at its configured barrier.
+func (p *Plan) barrierEnter(r core.Round) {
+	if r == 0 {
+		p.pass.Add(1)
+	}
+	if p.Cancel != nil && int(p.pass.Load()) == p.CancelPass && r == p.CancelRound {
+		p.Cancel()
+	}
+}
+
+// nodeError fires the configured handler fault once.
+func (p *Plan) nodeError(id core.NodeID, r core.Round) error {
+	if !p.FailEnabled || p.fired.Load() {
+		return nil
+	}
+	if id != p.FailNode || r != p.FailRound || int(p.pass.Load()) != p.FailPass {
+		return nil
+	}
+	if !p.fired.CompareAndSwap(false, true) {
+		return nil
+	}
+	return fmt.Errorf("%w: node %d, pass %d, round %d", ErrInjected, id, p.FailPass, r)
+}
+
+// workerPhase stalls the configured worker on the configured phase.
+func (p *Plan) workerPhase(worker, phase int) {
+	if p.StallFor > 0 && worker == p.StallWorker && phase == p.StallPhase {
+		time.Sleep(p.StallFor)
+	}
+}
+
+// WriteFailer wraps an io.Writer and fails after limit bytes with the
+// given error — io.ErrShortWrite for torn writes, syscall.ENOSPC (see
+// DiskFull) for a full disk. Plumbed under checkpoint writes through
+// Plan.CheckpointWriter.
+type WriteFailer struct {
+	w       io.Writer
+	limit   int
+	written int
+	err     error
+}
+
+// NewWriteFailer returns a writer that forwards to w until limit bytes
+// have passed, then fails every write with err.
+func NewWriteFailer(w io.Writer, limit int, err error) *WriteFailer {
+	return &WriteFailer{w: w, limit: limit, err: err}
+}
+
+// Write forwards to the underlying writer until the limit, truncating
+// the write that crosses it and failing it (and all later writes) with
+// the configured error.
+func (f *WriteFailer) Write(p []byte) (int, error) {
+	if f.written >= f.limit {
+		return 0, f.err
+	}
+	if rem := f.limit - f.written; len(p) > rem {
+		n, _ := f.w.Write(p[:rem])
+		f.written += n
+		return n, f.err
+	}
+	n, err := f.w.Write(p)
+	f.written += n
+	return n, err
+}
+
+// DiskFull returns a Plan.CheckpointWriter that lets limit bytes
+// through and then fails with syscall.ENOSPC, emulating a disk filling
+// up mid-checkpoint.
+func DiskFull(limit int) func(io.Writer) io.Writer {
+	return func(w io.Writer) io.Writer { return NewWriteFailer(w, limit, syscall.ENOSPC) }
+}
+
+// ShortWrite returns a Plan.CheckpointWriter that truncates the stream
+// at limit bytes with io.ErrShortWrite, emulating a torn write.
+func ShortWrite(limit int) func(io.Writer) io.Writer {
+	return func(w io.Writer) io.Writer { return NewWriteFailer(w, limit, io.ErrShortWrite) }
+}

@@ -52,11 +52,7 @@ func (k *ConstructKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		}
 	}
 	if k.stage == 1 {
-		if k.pass != nil {
-			k.cur = k.pass.Dense()
-			k.pass = nil
-			k.remaining--
-		}
+		k.harvest()
 		if k.remaining > 0 {
 			pass, err := matmul.NewDensePass(k.base, k.cur, false)
 			if err != nil {
@@ -73,6 +69,18 @@ func (k *ConstructKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		k.stage = 2
 	}
 	return nil, nil
+}
+
+// harvest folds the completed in-flight product (if any) into the hub
+// distance columns. Idempotent, so checkpointing can force it at a
+// pass boundary.
+func (k *ConstructKernel) harvest() {
+	if k.pass == nil {
+		return
+	}
+	k.cur = k.pass.Dense()
+	k.pass = nil
+	k.remaining--
 }
 
 // start validates the inputs and prepares the product loop.

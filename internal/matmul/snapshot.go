@@ -1,0 +1,110 @@
+// Matrix (de)serialization for kernel checkpoints. Multi-pass kernels
+// (internal/algo, internal/hopset) carry their inter-pass state as
+// sparse or dense matrices; these helpers encode them in the
+// internal/ckptio wire format so kernel SnapshotState/RestoreState
+// implementations stay one-liners per matrix. Semirings travel by Name
+// (the function fields cannot be serialized) and are rebuilt via
+// core.SemiringByName on read; every read ends with Matrix.Validate so
+// a corrupt blob surfaces as a structural error, never as a plausible
+// but wrong matrix.
+package matmul
+
+import (
+	"fmt"
+
+	"github.com/paper-repo-growth/doryp20/internal/ckptio"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// WriteMatrix encodes m (which may be nil — a single presence word) to
+// the ckptio writer.
+func WriteMatrix(w *ckptio.Writer, m *Matrix) {
+	if m == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.I64(int64(m.N))
+	w.String(m.Sr.Name)
+	w.I32s(m.Rows)
+	w.NodeIDs(m.Cols)
+	w.I64s(m.Vals)
+}
+
+// ReadMatrix decodes a matrix written by WriteMatrix, rebuilding the
+// semiring from its name and validating the structural invariants.
+// Returns nil for an absent matrix. Errors are recorded on the reader
+// (sticky), so multi-matrix decoders check r.Err once at the end — but
+// a structural validation failure is also returned directly.
+func ReadMatrix(r *ckptio.Reader) (*Matrix, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	m := &Matrix{}
+	m.N = int(r.I64())
+	name := r.String()
+	m.Rows = r.I32s()
+	m.Cols = r.NodeIDs()
+	m.Vals = r.I64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sr, err := core.SemiringByName(name)
+	if err != nil {
+		return nil, err
+	}
+	m.Sr = sr
+	if m.N < 0 {
+		return nil, fmt.Errorf("matmul: serialized matrix has negative dimension %d", m.N)
+	}
+	if m.Rows == nil && m.N+1 <= 1 {
+		// ckptio decodes empty slices as nil; a 0 x 0 matrix still needs
+		// its one-element offset slice.
+		m.Rows = make([]int32, m.N+1)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("matmul: corrupt serialized matrix: %w", err)
+	}
+	return m, nil
+}
+
+// WriteDense encodes d (nil allowed) to the ckptio writer.
+func WriteDense(w *ckptio.Writer, d *Dense) {
+	if d == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.I64(int64(d.N))
+	w.I64(int64(d.K))
+	w.String(d.Sr.Name)
+	w.I64s(d.Vals)
+}
+
+// ReadDense decodes a dense matrix written by WriteDense, checking the
+// value slab matches the declared N x K shape.
+func ReadDense(r *ckptio.Reader) (*Dense, error) {
+	if !r.Bool() {
+		return nil, r.Err()
+	}
+	d := &Dense{}
+	d.N = int(r.I64())
+	d.K = int(r.I64())
+	name := r.String()
+	d.Vals = r.I64s()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	sr, err := core.SemiringByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d.Sr = sr
+	if d.N < 0 || d.K < 0 || len(d.Vals) != d.N*d.K {
+		return nil, fmt.Errorf("matmul: corrupt serialized dense matrix: %d values for shape %d x %d", len(d.Vals), d.N, d.K)
+	}
+	if d.Vals == nil {
+		d.Vals = []int64{}
+	}
+	return d, nil
+}

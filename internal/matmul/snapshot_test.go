@@ -1,0 +1,122 @@
+package matmul
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/ckptio"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+func testMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	g := graph.Path(4).WithUniformRandomWeights(7, 50)
+	m, err := FromGraph(g, core.MinPlus(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMatrixRoundTrip: sparse matrices (including nil and 0-dimension)
+// survive serialization exactly, semiring identity included.
+func TestMatrixRoundTrip(t *testing.T) {
+	for _, m := range []*Matrix{nil, testMatrix(t), Identity(1, core.BoolOrAnd()), {N: 0, Sr: core.MinPlus(), Rows: []int32{0}}} {
+		var buf bytes.Buffer
+		w := ckptio.NewWriter(&buf)
+		WriteMatrix(w, m)
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMatrix(ckptio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (m == nil) != (got == nil) {
+			t.Fatalf("presence did not round-trip: in=%v out=%v", m, got)
+		}
+		if m == nil {
+			continue
+		}
+		if got.N != m.N || got.Sr.Name != m.Sr.Name {
+			t.Fatalf("shape/semiring: got %d/%s want %d/%s", got.N, got.Sr.Name, m.N, m.Sr.Name)
+		}
+		for i := core.NodeID(0); int(i) < m.N; i++ {
+			for j := core.NodeID(0); int(j) < m.N; j++ {
+				if got.At(i, j) != m.At(i, j) {
+					t.Fatalf("entry (%d,%d): got %d want %d", i, j, got.At(i, j), m.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestDenseRoundTrip: dense matrices round-trip, including the nil and
+// 0 x k cases.
+func TestDenseRoundTrip(t *testing.T) {
+	d := NewDense(3, 2, core.MinPlus())
+	d.Row(1)[0] = 42
+	d.Row(2)[1] = 0
+	for _, in := range []*Dense{nil, d, NewDense(0, 5, core.BoolOrAnd())} {
+		var buf bytes.Buffer
+		w := ckptio.NewWriter(&buf)
+		WriteDense(w, in)
+		if err := w.Err(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadDense(ckptio.NewReader(bytes.NewReader(buf.Bytes())))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (in == nil) != (got == nil) {
+			t.Fatalf("presence did not round-trip")
+		}
+		if in == nil {
+			continue
+		}
+		if got.N != in.N || got.K != in.K || got.Sr.Name != in.Sr.Name || !reflect.DeepEqual(got.Vals, in.Vals) {
+			t.Fatalf("dense did not round-trip: got %+v want %+v", got, in)
+		}
+	}
+}
+
+// TestCorruptMatrixRejected: structurally invalid CSR blobs (offsets
+// out of order, columns out of range) fail Validate on read rather
+// than producing a plausible matrix.
+func TestCorruptMatrixRejected(t *testing.T) {
+	encode := func(rows []int32, cols []core.NodeID, vals []int64) []byte {
+		var buf bytes.Buffer
+		w := ckptio.NewWriter(&buf)
+		w.Bool(true)
+		w.I64(2)
+		w.String("minplus")
+		w.I32s(rows)
+		w.NodeIDs(cols)
+		w.I64s(vals)
+		return buf.Bytes()
+	}
+	for name, data := range map[string][]byte{
+		"non-monotone offsets": encode([]int32{0, 2, 1}, []core.NodeID{0, 1}, []int64{1, 2}),
+		"column out of range":  encode([]int32{0, 1, 2}, []core.NodeID{0, 9}, []int64{1, 2}),
+		"offset span mismatch": encode([]int32{0, 1, 5}, []core.NodeID{0, 1}, []int64{1, 2}),
+	} {
+		if _, err := ReadMatrix(ckptio.NewReader(bytes.NewReader(data))); err == nil {
+			t.Errorf("%s decoded without error", name)
+		}
+	}
+}
+
+// TestUnknownSemiringRejected: a checkpoint naming a semiring this
+// build does not know fails with a descriptive error.
+func TestUnknownSemiringRejected(t *testing.T) {
+	m := testMatrix(t)
+	m.Sr.Name = "maxtimes"
+	var buf bytes.Buffer
+	w := ckptio.NewWriter(&buf)
+	WriteMatrix(w, m)
+	if _, err := ReadMatrix(ckptio.NewReader(bytes.NewReader(buf.Bytes()))); err == nil {
+		t.Fatal("unknown semiring accepted")
+	}
+}
