@@ -303,6 +303,9 @@ func (s *Session) Resume(ctx context.Context, k Checkpointable, path string) err
 	if d.kernelName != k.Name() {
 		return fmt.Errorf("clique: checkpoint is for kernel %q, not %q", d.kernelName, k.Name())
 	}
+	if ta, ok := Kernel(k).(TransportAware); ok {
+		ta.SetGatherer(s.eng.Transport())
+	}
 	if err := k.RestoreState(bytes.NewReader(d.kernelState)); err != nil {
 		return fmt.Errorf("clique: restoring kernel %q: %w", k.Name(), err)
 	}

@@ -81,6 +81,16 @@ func WithRoundHook(h func(engine.RoundStats)) Option {
 	return func(s *settings) { s.eng.RoundHook = h }
 }
 
+// WithTransport routes the engine's per-round scatter/exchange through
+// tr — engine.NewMemTransport (the default when nil) for the
+// in-process slab router, or a multi-process transport such as
+// engine.SocketTransport for one rank of a clique sharded across
+// processes. The session (via its engine) takes ownership of tr and
+// closes it on Close. See engine.Options.Transport.
+func WithTransport(tr engine.Transport) Option {
+	return func(s *settings) { s.eng.Transport = tr }
+}
+
 // WithEngineOptions replaces the session's engine options wholesale —
 // the bridge for legacy callers holding an engine.Options value.
 // Field-level options applied after it still win.
@@ -190,6 +200,11 @@ func (s *Session) Graph() *graph.CSR { return s.g }
 // N returns the clique size.
 func (s *Session) N() int { return s.eng.NumNodes() }
 
+// Partition returns the node range [lo, hi) the session transport
+// assigned this process — [0, N()) on the in-process transport, this
+// rank's shard on a multi-process one.
+func (s *Session) Partition() (lo, hi int) { return s.eng.Partition() }
+
 // Stats returns the session's cumulative accounting. The returned copy
 // keeps growing semantics simple: it reflects everything executed so
 // far and is not invalidated by later runs.
@@ -232,6 +247,9 @@ func (s *Session) Run(ctx context.Context, k Kernel) error {
 	}
 	if k == nil {
 		return errors.New("clique: Run with a nil Kernel")
+	}
+	if ta, ok := k.(TransportAware); ok {
+		ta.SetGatherer(s.eng.Transport())
 	}
 	// A fresh kernel run: restart the per-run digest chain, pass
 	// counter, checkpoint cadence, and any stale stop request.

@@ -50,6 +50,19 @@ type MaxRoundsHinter interface {
 	MaxRoundsHint() int
 }
 
+// TransportAware is optionally implemented by kernels that harvest
+// results outside the engine's per-round message flow — for example by
+// reading accumulator matrices directly. On a multi-process transport
+// each rank only executes its own node shard, so such harvests must
+// all-gather the remote shards first; Session.Run and Session.Resume
+// inject the session transport (which is the engine.Gatherer for the
+// clique) before the first Nodes call. Kernels whose results flow
+// entirely through messages need not implement it: the in-memory
+// transport's gather is a no-op either way.
+type TransportAware interface {
+	SetGatherer(engine.Gatherer)
+}
+
 // ResultAs returns k's Result as a T, with a descriptive error when the
 // kernel is incomplete or produced a different type — the typed-access
 // bridge for registry-constructed kernels whose concrete type is not in

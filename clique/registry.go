@@ -53,6 +53,16 @@ func Kernels() []string {
 	return names
 }
 
+// Registered reports whether a kernel factory is registered under
+// name — the cheap existence check for CLI validation paths that want
+// exit-code-2 diagnostics before committing cluster resources.
+func Registered(name string) bool {
+	registry.RLock()
+	defer registry.RUnlock()
+	_, ok := registry.m[name]
+	return ok
+}
+
 // NewKernel constructs a fresh instance of the registered kernel name
 // for graph g. Unknown names yield an error listing what is available.
 func NewKernel(name string, g *graph.CSR) (Kernel, error) {

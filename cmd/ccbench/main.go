@@ -16,6 +16,13 @@
 //	ccbench -list
 //	ccbench -kernel <name> [-kernel-n 64] [-kernel-o report.json]
 //	        [-checkpoint dir] [-ckpt-every k] [-resume file.ckpt]
+//	        [-transport mem|socket-tcp|socket-unix] [-ranks k]
+//
+// With a non-mem -transport, the -kernel run executes as a k-rank
+// loopback cluster of the selected socket transport — every rank its
+// own session sharing one logical clique — and fails unless all ranks
+// produce bit-identical replay digest chains. -checkpoint/-resume
+// require the mem transport.
 //
 // With -checkpoint, a checkpointable kernel run persists its state
 // under dir at pass boundaries, and the first SIGINT stops the run
@@ -36,11 +43,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"slices"
 	"strconv"
 	"strings"
+	"sync"
 
 	"github.com/paper-repo-growth/doryp20/clique"
 	"github.com/paper-repo-growth/doryp20/internal/bench"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
 
 	// Register the algorithm kernels with the clique registry (the
@@ -83,12 +93,19 @@ type kernelOpts struct {
 	// signals enables the SIGINT protocol (stop at the next pass
 	// boundary, cancel hard on the second signal); off in tests.
 	signals bool
+	// transport and ranks select a registered transport for the run;
+	// a non-mem transport runs ranks in-process loopback legs of one
+	// logical clique (see cmd/ccnode for true multi-process meshes).
+	transport string
+	ranks     int
 }
 
 // kernelReport is the -kernel-o JSON document.
 type kernelReport struct {
 	Kernel     string `json:"kernel"`
 	N          int    `json:"n"`
+	Transport  string `json:"transport,omitempty"`
+	Ranks      int    `json:"ranks,omitempty"`
 	Passes     int    `json:"passes"`
 	Rounds     int    `json:"rounds"`
 	Msgs       uint64 `json:"msgs"`
@@ -105,6 +122,9 @@ type kernelReport struct {
 // is a success: the final checkpoint and the partial report are on
 // disk for a later -resume.
 func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int {
+	if opt.transport != "" && opt.transport != "mem" {
+		return runKernelCluster(name, n, opt, stdout, stderr)
+	}
 	g := graph.RandomGNP(n, 0.15, 1).WithUniformRandomWeights(2, 16)
 	k, err := clique.NewKernel(name, g)
 	if err != nil {
@@ -182,6 +202,90 @@ func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int
 	return 0
 }
 
+// runKernelCluster executes one registered kernel on every rank of an
+// in-process loopback cluster of the named transport — each rank its
+// own session over its own transport leg, all ranks one logical clique
+// — requires the ranks' replay digest chains to agree bit for bit, and
+// reports the (cluster-global) stats. True multi-process meshes are
+// cmd/ccnode's job; this path proves transport interchangeability from
+// the bench CLI.
+func runKernelCluster(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int {
+	if !clique.Registered(name) {
+		fmt.Fprintf(stderr, "ccbench: unknown kernel %q\n", name)
+		return 2
+	}
+	trs, err := engine.NewTransportCluster(opt.transport, opt.ranks)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 2
+	}
+	g := graph.RandomGNP(n, 0.15, 1).WithUniformRandomWeights(2, 16)
+	stats := make([]clique.Stats, len(trs))
+	digests := make([][]uint64, len(trs))
+	errs := make([]error, len(trs))
+	var wg sync.WaitGroup
+	for i := range trs {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = func() error {
+				k, err := clique.NewKernel(name, g)
+				if err != nil {
+					trs[rank].Close()
+					return err
+				}
+				s, err := clique.New(g, clique.WithDigests(), clique.WithTransport(trs[rank]))
+				if err != nil {
+					trs[rank].Close()
+					return err
+				}
+				defer s.Close()
+				if err := s.Run(context.Background(), k); err != nil {
+					return err
+				}
+				stats[rank] = s.Stats()
+				digests[rank] = s.Digests()
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			fmt.Fprintf(stderr, "ccbench: rank %d: %v\n", rank, err)
+			return 1
+		}
+	}
+	for rank := 1; rank < len(digests); rank++ {
+		if !slices.Equal(digests[rank], digests[0]) {
+			fmt.Fprintf(stderr, "ccbench: rank %d digest chain diverges from rank 0\n", rank)
+			return 1
+		}
+	}
+
+	st := stats[0]
+	fmt.Fprintf(stdout, "%-16s %-8s %-12s %-8s %-8s %-10s %-12s %-12s\n",
+		"kernel", "n", "transport", "passes", "rounds", "msgs", "bytes", "wall")
+	fmt.Fprintf(stdout, "%-16s %-8d %-12s %-8d %-8d %-10d %-12d %-12s\n",
+		name, n, fmt.Sprintf("%s/%d", opt.transport, opt.ranks), st.Runs,
+		st.Engine.Rounds, st.Engine.TotalMsgs, st.Engine.TotalBytes, st.Engine.Wall)
+	fmt.Fprintf(stdout, "all %d ranks agree on %d replay digests\n", len(trs), len(digests[0]))
+	if opt.out != "" {
+		rep := kernelReport{
+			Kernel: name, N: n, Transport: opt.transport, Ranks: opt.ranks,
+			Passes: st.Runs, Rounds: st.Engine.Rounds,
+			Msgs: st.Engine.TotalMsgs, Bytes: st.Engine.TotalBytes,
+			WallNs: int64(st.Engine.Wall),
+		}
+		if err := bench.WriteJSON(opt.out, rep); err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "wrote", opt.out)
+	}
+	return 0
+}
+
 // run is the testable body of main: it parses args, runs both
 // workloads, and writes both reports, returning the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -205,6 +309,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ckptDir := fs.String("checkpoint", "", "checkpoint directory for -kernel runs (empty disables checkpointing)")
 	ckptEvery := fs.Int("ckpt-every", 1, "minimum engine rounds between -checkpoint writes")
 	resume := fs.String("resume", "", "resume the -kernel run from this checkpoint file")
+	transport := fs.String("transport", "mem", "transport for the -kernel run: mem, socket-tcp, or socket-unix (loopback cluster)")
+	ranks := fs.Int("ranks", 2, "rank count for a non-mem -transport")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / -help is a successful help request
@@ -233,14 +339,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "ccbench: -ckpt-every %d must be >= 1\n", *ckptEvery)
 			return 2
 		}
+		if *transport != "mem" {
+			// Checkpoints are written at engine round barriers of the
+			// local process; resuming a sharded cluster is ccnode-level
+			// snapshot territory, not the bench CLI's.
+			if *ckptDir != "" || *resume != "" {
+				fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume require -transport mem")
+				return 2
+			}
+			if *ranks < 2 {
+				fmt.Fprintf(stderr, "ccbench: -ranks %d must be >= 2 for -transport %s\n", *ranks, *transport)
+				return 2
+			}
+		}
 		opt := kernelOpts{
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 			resume: *resume, out: *kernelOut, signals: true,
+			transport: *transport, ranks: *ranks,
 		}
 		return runKernel(*kernel, *kernelN, opt, stdout, stderr)
 	}
 	if *ckptDir != "" || *resume != "" || *kernelOut != "" {
 		fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume/-kernel-o require -kernel")
+		return 2
+	}
+	if *transport != "mem" {
+		fmt.Fprintln(stderr, "ccbench: -transport requires -kernel")
 		return 2
 	}
 

@@ -342,3 +342,43 @@ func TestKernelSigintStopsAtBoundary(t *testing.T) {
 		t.Fatalf("resume after SIGINT: code=%d stderr:\n%s", code, stderr)
 	}
 }
+
+// TestKernelTransportCluster: a non-mem -transport runs the kernel as
+// an in-process loopback cluster of sessions sharing one logical
+// clique, verifies cross-rank digest agreement, and records the
+// transport in the report; invalid flag combinations exit 2.
+func TestKernelTransportCluster(t *testing.T) {
+	rep := filepath.Join(t.TempDir(), "rep.json")
+	code, stdout, stderr := runCC(t, "-kernel", "bfs", "-kernel-n", "24",
+		"-transport", "socket-unix", "-ranks", "2", "-kernel-o", rep)
+	if code != 0 {
+		t.Fatalf("cluster run: code=%d stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ranks agree") {
+		t.Fatalf("cluster run output lacks the digest-agreement line:\n%s", stdout)
+	}
+	data, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatalf("no report after cluster run: %v", err)
+	}
+	var r kernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if r.Transport != "socket-unix" || r.Ranks != 2 || r.Rounds == 0 {
+		t.Fatalf("report misdescribes the cluster run: %+v", r)
+	}
+
+	for _, tc := range [][]string{
+		{"-kernel", "bfs", "-transport", "socket-unix", "-checkpoint", t.TempDir()},
+		{"-kernel", "bfs", "-transport", "socket-unix", "-resume", "x.ckpt"},
+		{"-kernel", "bfs", "-transport", "socket-unix", "-ranks", "1"},
+		{"-kernel", "bfs", "-transport", "bogus"},
+		{"-kernel", "definitely-not-registered", "-transport", "socket-unix"},
+		{"-transport", "socket-unix"},
+	} {
+		if code, _, stderr := runCC(t, tc...); code != 2 {
+			t.Errorf("%v: code=%d, want 2 (stderr: %s)", tc, code, stderr)
+		}
+	}
+}

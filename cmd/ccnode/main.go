@@ -1,0 +1,222 @@
+// ccnode runs ONE rank of a multi-process Congested Clique: k ccnode
+// processes, each owning a contiguous node shard of the same logical
+// clique, connected by the socket transport into one deterministic
+// computation. Every process runs the same registered kernel on the
+// same deterministic G(n, p) instance; the transport's full-broadcast
+// exchange keeps every rank's inbox bank, stats, and replay digest
+// chain bit-identical to the single-process run, which is exactly what
+// the report lets you verify.
+//
+// Usage:
+//
+//	ccnode -rank 0 -addrs host0:9000,host1:9000,host2:9000 [-network tcp]
+//	       [-kernel approx-sssp] [-n 256] [-p 0.15] [-seed 1]
+//	       [-timeout 30s] [-o report.json]
+//
+// Every rank must be started with the SAME -addrs list (it defines the
+// cluster), the same workload flags, and its own -rank index. A single
+// -addrs entry runs the in-process reference configuration on the
+// memory transport — the ground truth a socket cluster's reports are
+// compared against:
+//
+//	ccnode -rank 0 -addrs local -kernel approx-sssp -n 256 -o ref.json
+//
+// The JSON report carries the per-round replay digest chain and a
+// result fingerprint as hex strings (digests are 64-bit values; JSON
+// numbers would round them through float64), so equivalence across
+// ranks and against the reference is a plain string comparison — see
+// the multi-process job in .github/workflows/ci.yml.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/bench"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+
+	// Register the algorithm and matmul kernels with the clique registry.
+	_ "github.com/paper-repo-growth/doryp20/internal/algo"
+	_ "github.com/paper-repo-growth/doryp20/internal/matmul"
+)
+
+// report is the machine-readable outcome of one rank's run. Wall time
+// is per-rank; every other field must be identical across the ranks of
+// one cluster and identical to the single-process reference.
+type report struct {
+	Kernel    string  `json:"kernel"`
+	N         int     `json:"n"`
+	P         float64 `json:"p"`
+	Seed      int64   `json:"seed"`
+	Rank      int     `json:"rank"`
+	Ranks     int     `json:"ranks"`
+	Transport string  `json:"transport"`
+	// Lo and Hi are this rank's node shard [lo, hi).
+	Lo     int    `json:"lo"`
+	Hi     int    `json:"hi"`
+	Passes int    `json:"passes"`
+	Rounds int    `json:"rounds"`
+	Msgs   uint64 `json:"msgs"`
+	Bytes  uint64 `json:"bytes"`
+	WallNs int64  `json:"wall_ns"`
+	// Digests is the replay digest chain, one 16-hex-digit string per
+	// round.
+	Digests []string `json:"digests"`
+	// ResultFNV fingerprints the kernel result (FNV-1a over its JSON
+	// encoding) so arbitrary result types compare as one string.
+	ResultFNV string `json:"result_fnv"`
+	// Dist is included verbatim when the kernel's result is a distance
+	// vector, the common case for the shortest-path kernels.
+	Dist []int64 `json:"dist,omitempty"`
+}
+
+// run is the testable body of main: parse flags, run this rank's leg
+// of the clique, write the report. Exit codes follow ccbench: 0 ok,
+// 1 runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ccnode", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rank := fs.Int("rank", 0, "this process's index into -addrs")
+	addrsFlag := fs.String("addrs", "", "comma-separated listen address per rank; a single entry selects the in-process memory transport")
+	network := fs.String("network", "tcp", `socket network: "tcp" or "unix"`)
+	kernel := fs.String("kernel", "approx-sssp", "registered kernel to run (see ccbench -list)")
+	n := fs.Int("n", 256, "clique size")
+	p := fs.Float64("p", 0.15, "G(n,p) edge probability")
+	seed := fs.Int64("seed", 1, "graph seed")
+	timeout := fs.Duration("timeout", 30*time.Second, "bound on each socket operation (dial, handshake, one frame)")
+	out := fs.String("o", "", "report output path (empty prints the report to stdout)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ccnode: unexpected arguments: %s\n", strings.Join(fs.Args(), " "))
+		fs.Usage()
+		return 2
+	}
+	addrs := strings.Split(*addrsFlag, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	if *addrsFlag == "" || len(addrs) == 0 {
+		fmt.Fprintln(stderr, "ccnode: -addrs is required (one address per rank)")
+		return 2
+	}
+	if *rank < 0 || *rank >= len(addrs) {
+		fmt.Fprintf(stderr, "ccnode: -rank %d outside [0, %d)\n", *rank, len(addrs))
+		return 2
+	}
+	if *n < 1 {
+		fmt.Fprintf(stderr, "ccnode: -n %d must be >= 1\n", *n)
+		return 2
+	}
+	if !(*p > 0 && *p <= 1) {
+		fmt.Fprintf(stderr, "ccnode: -p %v outside (0, 1]\n", *p)
+		return 2
+	}
+
+	g := graph.RandomGNP(*n, *p, *seed).WithUniformRandomWeights(*seed+1, 16)
+	k, err := clique.NewKernel(*kernel, g)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccnode:", err)
+		return 2
+	}
+
+	opts := []clique.Option{clique.WithDigests()}
+	transportName := "mem"
+	if len(addrs) > 1 {
+		tr, err := engine.NewSocketTransport(engine.SocketConfig{
+			Network: *network,
+			Addrs:   addrs,
+			Rank:    *rank,
+			Timeout: *timeout,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "ccnode:", err)
+			return 2
+		}
+		transportName = tr.Name()
+		opts = append(opts, clique.WithTransport(tr))
+	}
+
+	s, err := clique.New(g, opts...)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccnode:", err)
+		return 1
+	}
+	defer s.Close()
+	if err := s.Run(context.Background(), k); err != nil {
+		fmt.Fprintln(stderr, "ccnode:", err)
+		return 1
+	}
+
+	rep, err := buildReport(s, k, *kernel, *n, *p, *seed, *rank, len(addrs), transportName)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccnode:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "rank %d/%d nodes [%d, %d): %s on n=%d done in %d passes, %d rounds, %d msgs\n",
+		rep.Rank, rep.Ranks, rep.Lo, rep.Hi, rep.Kernel, rep.N, rep.Passes, rep.Rounds, rep.Msgs)
+	if *out != "" {
+		if err := bench.WriteJSON(*out, rep); err != nil {
+			fmt.Fprintln(stderr, "ccnode:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "wrote", *out)
+	} else {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "ccnode:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, string(data))
+	}
+	return 0
+}
+
+// buildReport assembles the rank report from the finished session.
+func buildReport(s *clique.Session, k clique.Kernel, kernel string, n int, p float64, seed int64, rank, ranks int, transportName string) (*report, error) {
+	st := s.Stats()
+	lo, hi := s.Partition()
+	rep := &report{
+		Kernel: kernel, N: n, P: p, Seed: seed,
+		Rank: rank, Ranks: ranks, Transport: transportName,
+		Lo: lo, Hi: hi,
+		Passes: st.Runs, Rounds: st.Engine.Rounds,
+		Msgs: st.Engine.TotalMsgs, Bytes: st.Engine.TotalBytes,
+		WallNs: st.Engine.Wall.Nanoseconds(),
+	}
+	for _, d := range s.Digests() {
+		rep.Digests = append(rep.Digests, fmt.Sprintf("%016x", d))
+	}
+	res := k.Result()
+	if res == nil {
+		return nil, fmt.Errorf("kernel %q completed without a result", kernel)
+	}
+	enc, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("encoding kernel result: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	rep.ResultFNV = fmt.Sprintf("%016x", h.Sum64())
+	if dist, ok := res.([]int64); ok {
+		rep.Dist = dist
+	}
+	return rep, nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

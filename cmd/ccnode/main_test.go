@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// readReport decodes one report written by run.
+func readReport(t *testing.T, path string) report {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestMultiProcessEquivalence runs the headline kernel as a two-rank
+// unix-socket cluster (both ranks in this process, each through the
+// full CLI body) and as the single-address memory reference, and
+// requires every observable in the reports — shard-independent stats,
+// digest chain, result fingerprint, distance vector — to agree.
+func TestMultiProcessEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	workload := []string{"-kernel", "approx-sssp", "-n", "48", "-p", "0.15", "-seed", "1"}
+
+	refOut := filepath.Join(dir, "ref.json")
+	var stdout, stderr bytes.Buffer
+	args := append([]string{"-rank", "0", "-addrs", "local", "-o", refOut}, workload...)
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("mem reference: exit %d\nstderr:\n%s", code, stderr.String())
+	}
+	ref := readReport(t, refOut)
+	if ref.Transport != "mem" || ref.Ranks != 1 || ref.Lo != 0 || ref.Hi != 48 {
+		t.Fatalf("reference report misdescribes its run: %+v", ref)
+	}
+	if len(ref.Digests) == 0 || ref.Dist == nil || ref.ResultFNV == "" {
+		t.Fatalf("reference report is missing observables: %+v", ref)
+	}
+
+	addrs := strings.Join([]string{
+		filepath.Join(dir, "rank0.sock"),
+		filepath.Join(dir, "rank1.sock"),
+	}, ",")
+	outs := [2]string{filepath.Join(dir, "r0.json"), filepath.Join(dir, "r1.json")}
+	codes := [2]int{}
+	stderrs := [2]bytes.Buffer{}
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			args := append([]string{
+				"-rank", fmt.Sprint(rank), "-addrs", addrs,
+				"-network", "unix", "-timeout", "10s", "-o", outs[rank],
+			}, workload...)
+			codes[rank] = run(args, &out, &stderrs[rank])
+		}(rank)
+	}
+	wg.Wait()
+	for rank, code := range codes {
+		if code != 0 {
+			t.Fatalf("rank %d: exit %d\nstderr:\n%s", rank, code, stderrs[rank].String())
+		}
+	}
+
+	for rank := 0; rank < 2; rank++ {
+		rep := readReport(t, outs[rank])
+		if rep.Transport != "socket-unix" || rep.Ranks != 2 || rep.Rank != rank {
+			t.Errorf("rank %d report misdescribes its run: %+v", rank, rep)
+		}
+		if rep.Lo >= rep.Hi || rep.Hi > 48 {
+			t.Errorf("rank %d claims shard [%d, %d)", rank, rep.Lo, rep.Hi)
+		}
+		for name, pair := range map[string][2]any{
+			"passes":     {rep.Passes, ref.Passes},
+			"rounds":     {rep.Rounds, ref.Rounds},
+			"msgs":       {rep.Msgs, ref.Msgs},
+			"digests":    {rep.Digests, ref.Digests},
+			"result_fnv": {rep.ResultFNV, ref.ResultFNV},
+			"dist":       {rep.Dist, ref.Dist},
+		} {
+			if !reflect.DeepEqual(pair[0], pair[1]) {
+				t.Errorf("rank %d %s diverges from the mem reference", rank, name)
+			}
+		}
+	}
+}
+
+// TestUsageErrors pins the exit-2 diagnostics.
+func TestUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no addrs", []string{"-rank", "0"}},
+		{"rank out of range", []string{"-rank", "2", "-addrs", "a,b"}},
+		{"bad kernel", []string{"-rank", "0", "-addrs", "local", "-kernel", "nope"}},
+		{"bad n", []string{"-rank", "0", "-addrs", "local", "-n", "0"}},
+		{"bad p", []string{"-rank", "0", "-addrs", "local", "-p", "2"}},
+		{"bad network", []string{"-rank", "0", "-addrs", "a,b", "-network", "carrier-pigeon"}},
+		{"stray args", []string{"-rank", "0", "-addrs", "local", "stray"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit %d, want 2\nstderr:\n%s", code, stderr.String())
+			}
+		})
+	}
+}

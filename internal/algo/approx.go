@@ -34,12 +34,26 @@ type ApproxKSourceKernel struct {
 	sources []core.NodeID
 	params  hopset.Params
 
-	stage int // 0: unstarted, 1: hopset, 2: relaxing, 3: done
-	ck    *hopset.ConstructKernel
-	hs    *hopset.Hopset
-	rx    *relaxState
-	n     int
-	dist  [][]int64
+	stage  int // 0: unstarted, 1: hopset, 2: relaxing, 3: done
+	ck     *hopset.ConstructKernel
+	hs     *hopset.Hopset
+	rx     *relaxState
+	n      int
+	dist   [][]int64
+	gather engine.Gatherer
+}
+
+// SetGatherer injects the session transport's all-gather into both
+// pipeline stages so every harvest assembles the full product on every
+// rank (clique TransportAware hook).
+func (k *ApproxKSourceKernel) SetGatherer(g engine.Gatherer) {
+	k.gather = g
+	if k.ck != nil {
+		k.ck.SetGatherer(g)
+	}
+	if k.rx != nil {
+		k.rx.gather = g
+	}
 }
 
 // NewApproxKSourceKernel returns a (1+ε)-approximate k-source distance
@@ -64,6 +78,7 @@ func (k *ApproxKSourceKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		}
 		k.n = g.N
 		k.ck = hopset.NewConstructKernel(k.params)
+		k.ck.SetGatherer(k.gather)
 		k.stage = 1
 	}
 	if k.stage == 1 {
@@ -89,6 +104,7 @@ func (k *ApproxKSourceKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 			remaining = limit
 		}
 		k.rx = newRelaxState(s, k.sources, remaining)
+		k.rx.gather = k.gather
 		k.stage = 2
 	}
 	if k.stage == 2 {
@@ -142,6 +158,10 @@ func (k *ApproxKSourceKernel) Hopset() *hopset.Hopset { return k.hs }
 type ApproxSSSPKernel struct {
 	inner *ApproxKSourceKernel
 }
+
+// SetGatherer forwards the transport's all-gather to the embedded
+// k-source pipeline (clique TransportAware hook).
+func (k *ApproxSSSPKernel) SetGatherer(g engine.Gatherer) { k.inner.SetGatherer(g) }
 
 // NewApproxSSSPKernel returns a (1+ε)-approximate SSSP kernel from src
 // with the given hopset parameters (zero-value fields select the

@@ -56,11 +56,17 @@ func checkNonNegative(name string, g *graph.CSR) error {
 // breadth-first flood — one engine pass. Result/Dist hold the distance
 // vector (Unreached for unreachable vertices) after completion.
 type BFSKernel struct {
-	src   core.NodeID
-	state []bfsNode
-	dist  []int64
-	done  bool
+	src    core.NodeID
+	state  []bfsNode
+	dist   []int64
+	done   bool
+	gather engine.Gatherer
 }
+
+// SetGatherer injects the session transport's all-gather so the
+// harvest assembles the full distance vector on every rank (clique
+// TransportAware hook).
+func (k *BFSKernel) SetGatherer(g engine.Gatherer) { k.gather = g }
 
 // NewBFSKernel returns a BFS kernel flooding from src.
 func NewBFSKernel(src core.NodeID) *BFSKernel { return &BFSKernel{src: src} }
@@ -78,6 +84,11 @@ func (k *BFSKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		k.dist = make([]int64, len(k.state))
 		for i := range k.state {
 			k.dist[i] = k.state[i].dist
+		}
+		if k.gather != nil && len(k.dist) > 0 {
+			if err := k.gather.AllGatherRows(k.dist, 1); err != nil {
+				return nil, err
+			}
 		}
 		k.done = true
 		return nil, nil
@@ -110,11 +121,17 @@ func (k *BFSKernel) Dist() []int64 { return k.dist }
 // graphs are treated as unit-weighted, so the kernel runs on any input;
 // negative weights are rejected.
 type BellmanFordKernel struct {
-	src   core.NodeID
-	state []bfordNode
-	dist  []int64
-	done  bool
+	src    core.NodeID
+	state  []bfordNode
+	dist   []int64
+	done   bool
+	gather engine.Gatherer
 }
+
+// SetGatherer injects the session transport's all-gather so the
+// harvest assembles the full distance vector on every rank (clique
+// TransportAware hook).
+func (k *BellmanFordKernel) SetGatherer(g engine.Gatherer) { k.gather = g }
 
 // NewBellmanFordKernel returns a Bellman-Ford kernel relaxing from src.
 func NewBellmanFordKernel(src core.NodeID) *BellmanFordKernel {
@@ -134,6 +151,11 @@ func (k *BellmanFordKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		k.dist = make([]int64, len(k.state))
 		for i := range k.state {
 			k.dist[i] = k.state[i].dist
+		}
+		if k.gather != nil && len(k.dist) > 0 {
+			if err := k.gather.AllGatherRows(k.dist, 1); err != nil {
+				return nil, err
+			}
 		}
 		k.done = true
 		return nil, nil
@@ -180,6 +202,9 @@ type powerState struct {
 	// phase 0: the current exponent bit's multiply step is pending;
 	// phase 1: it is done and the squaring step is pending.
 	phase int
+	// gather is injected into every pass so harvests assemble the full
+	// product across transport ranks.
+	gather engine.Gatherer
 }
 
 // newPowerState prepares the power A^h over graph g, clamping h to n-1:
@@ -201,12 +226,16 @@ func newPowerState(g *graph.CSR, h int) (*powerState, error) {
 }
 
 // harvest folds the completed in-flight pass (if any) back into the
-// square-and-multiply state. Idempotent — harvesting twice is a no-op —
-// so checkpointing can force it at a pass boundary before the next
-// Nodes call would.
-func (ps *powerState) harvest() {
+// square-and-multiply state, gathering the product across transport
+// ranks first. Idempotent — harvesting twice is a no-op — so
+// checkpointing can force it at a pass boundary before the next Nodes
+// call would.
+func (ps *powerState) harvest() error {
 	if ps.pass == nil {
-		return
+		return nil
+	}
+	if err := ps.pass.Gather(); err != nil {
+		return err
 	}
 	m := ps.pass.Sparse()
 	if ps.passIsSquare {
@@ -215,12 +244,15 @@ func (ps *powerState) harvest() {
 		ps.result = m
 	}
 	ps.pass = nil
+	return nil
 }
 
 // next harvests the pass returned by the previous call (if any) and
 // returns the next product pass, or nil once A^h is fully computed.
 func (ps *powerState) next() (*matmul.Pass, error) {
-	ps.harvest()
+	if err := ps.harvest(); err != nil {
+		return nil, err
+	}
 	for ps.e > 0 {
 		if ps.phase == 0 {
 			ps.phase = 1
@@ -232,6 +264,7 @@ func (ps *powerState) next() (*matmul.Pass, error) {
 					if err != nil {
 						return nil, err
 					}
+					p.SetGatherer(ps.gather)
 					ps.pass, ps.passIsSquare = p, false
 					return p, nil
 				}
@@ -244,6 +277,7 @@ func (ps *powerState) next() (*matmul.Pass, error) {
 			if err != nil {
 				return nil, err
 			}
+			p.SetGatherer(ps.gather)
 			ps.pass, ps.passIsSquare = p, true
 			return p, nil
 		}
@@ -282,7 +316,13 @@ type APSPKernel struct {
 	dist    [][]int64
 	started bool
 	done    bool
+	gather  engine.Gatherer
 }
+
+// SetGatherer injects the session transport's all-gather so every
+// squaring's harvest assembles the full product on every rank (clique
+// TransportAware hook).
+func (k *APSPKernel) SetGatherer(g engine.Gatherer) { k.gather = g }
 
 // NewAPSPKernel returns an all-pairs shortest-path kernel.
 func NewAPSPKernel() *APSPKernel { return &APSPKernel{} }
@@ -306,7 +346,9 @@ func (k *APSPKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		}
 		k.d, k.n, k.span, k.started = a, g.N, 1, true
 	}
-	k.harvest()
+	if err := k.harvest(); err != nil {
+		return nil, err
+	}
 	if k.span >= k.n-1 {
 		k.dist = distMatrix(k.d)
 		k.done = true
@@ -316,20 +358,26 @@ func (k *APSPKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	pass.SetGatherer(k.gather)
 	k.pass = pass
 	return pass.Nodes(), nil
 }
 
 // harvest folds the completed squaring pass (if any) into the distance
-// matrix and doubles the covered hop horizon. Idempotent, so
-// checkpointing can force it at a pass boundary.
-func (k *APSPKernel) harvest() {
+// matrix and doubles the covered hop horizon, gathering the product
+// across transport ranks first. Idempotent, so checkpointing can force
+// it at a pass boundary.
+func (k *APSPKernel) harvest() error {
 	if k.pass == nil {
-		return
+		return nil
+	}
+	if err := k.pass.Gather(); err != nil {
+		return err
 	}
 	k.d = k.pass.Sparse()
 	k.pass = nil
 	k.span *= 2
+	return nil
 }
 
 // MaxRoundsHint forwards the in-flight squaring's round-bound hint.
@@ -358,10 +406,21 @@ func (k *APSPKernel) Dist() [][]int64 { return k.dist }
 // per square-and-multiply step. Unweighted session graphs are treated
 // as unit-weighted.
 type HopLimitedKernel struct {
-	h    int
-	ps   *powerState
-	dist [][]int64
-	done bool
+	h      int
+	ps     *powerState
+	dist   [][]int64
+	done   bool
+	gather engine.Gatherer
+}
+
+// SetGatherer injects the session transport's all-gather so every
+// power step's harvest assembles the full product on every rank
+// (clique TransportAware hook).
+func (k *HopLimitedKernel) SetGatherer(g engine.Gatherer) {
+	k.gather = g
+	if k.ps != nil {
+		k.ps.gather = g
+	}
 }
 
 // NewHopLimitedKernel returns a kernel computing h-hop-limited
@@ -388,6 +447,7 @@ func (k *HopLimitedKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		ps.gather = k.gather
 		k.ps = ps
 	}
 	pass, err := k.ps.next()

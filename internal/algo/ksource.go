@@ -36,6 +36,20 @@ type KSourceKernel struct {
 	remaining int
 	n         int
 	dist      [][]int64
+	gather    engine.Gatherer
+}
+
+// SetGatherer injects the session transport's all-gather into both
+// pipeline stages so every harvest assembles the full product on every
+// rank (clique TransportAware hook).
+func (k *KSourceKernel) SetGatherer(g engine.Gatherer) {
+	k.gather = g
+	if k.ps != nil {
+		k.ps.gather = g
+	}
+	if k.rx != nil {
+		k.rx.gather = g
+	}
 }
 
 // NewKSourceKernel returns a k-source distance kernel for the given
@@ -70,6 +84,7 @@ func (k *KSourceKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		// Powering finished: S = A^h. Hand off to the shared relaxation
 		// stage and fall through.
 		k.rx = newRelaxState(k.ps.matrix(), k.sources, k.remaining)
+		k.rx.gather = k.gather
 		k.ps = nil
 		k.stage = 2
 	}
@@ -119,6 +134,7 @@ func (k *KSourceKernel) start(g *graph.CSR) error {
 	if err != nil {
 		return err
 	}
+	ps.gather = k.gather
 	k.ps = ps
 	k.stage = 1
 	return nil

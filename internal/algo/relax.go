@@ -2,6 +2,7 @@ package algo
 
 import (
 	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/matmul"
 )
 
@@ -17,6 +18,9 @@ type relaxState struct {
 	cur       *matmul.Dense
 	pass      *matmul.Pass
 	remaining int
+	// gather is injected into every pass so harvests assemble the full
+	// product across transport ranks.
+	gather engine.Gatherer
 }
 
 // newRelaxState prepares `remaining` relaxation products of s against
@@ -31,21 +35,28 @@ func newRelaxState(s *matmul.Matrix, sources []core.NodeID, remaining int) *rela
 }
 
 // harvest folds the completed in-flight product (if any) into the
-// current columns. Idempotent, so checkpointing can force it at a pass
-// boundary before the next call would.
-func (rs *relaxState) harvest() {
+// current columns, gathering it across transport ranks first.
+// Idempotent, so checkpointing can force it at a pass boundary before
+// the next call would.
+func (rs *relaxState) harvest() error {
 	if rs.pass == nil {
-		return
+		return nil
+	}
+	if err := rs.pass.Gather(); err != nil {
+		return err
 	}
 	rs.cur = rs.pass.Dense()
 	rs.pass = nil
 	rs.remaining--
+	return nil
 }
 
 // next harvests the pass returned by the previous call (if any) and
 // returns the next relaxation pass, or nil once all products have run.
 func (rs *relaxState) next() (*matmul.Pass, error) {
-	rs.harvest()
+	if err := rs.harvest(); err != nil {
+		return nil, err
+	}
 	if rs.remaining <= 0 {
 		return nil, nil
 	}
@@ -53,6 +64,7 @@ func (rs *relaxState) next() (*matmul.Pass, error) {
 	if err != nil {
 		return nil, err
 	}
+	pass.SetGatherer(rs.gather)
 	rs.pass = pass
 	return pass, nil
 }

@@ -98,7 +98,9 @@ func readRelaxState(r *ckptio.Reader) (*relaxState, error) {
 // SnapshotState serializes the repeated-squaring state: the current
 // distance matrix and the covered hop horizon.
 func (k *APSPKernel) SnapshotState(w io.Writer) error {
-	k.harvest()
+	if err := k.harvest(); err != nil {
+		return err
+	}
 	cw := ckptio.NewWriter(w)
 	cw.U64(kernelStateVersion)
 	cw.Bool(k.started)
@@ -143,7 +145,9 @@ func (k *APSPKernel) RestoreState(r io.Reader) error {
 // SnapshotState serializes the hop-limited power iteration state.
 func (k *HopLimitedKernel) SnapshotState(w io.Writer) error {
 	if k.ps != nil {
-		k.ps.harvest()
+		if err := k.ps.harvest(); err != nil {
+			return err
+		}
 	}
 	cw := ckptio.NewWriter(w)
 	cw.U64(kernelStateVersion)
@@ -175,6 +179,9 @@ func (k *HopLimitedKernel) RestoreState(r io.Reader) error {
 		return err
 	}
 	k.h, k.done, k.ps = h, done, ps
+	if k.ps != nil {
+		k.ps.gather = k.gather
+	}
 	if done && ps != nil {
 		k.dist = distMatrix(ps.matrix())
 	}
@@ -186,10 +193,14 @@ func (k *HopLimitedKernel) RestoreState(r io.Reader) error {
 // live.
 func (k *KSourceKernel) SnapshotState(w io.Writer) error {
 	if k.ps != nil {
-		k.ps.harvest()
+		if err := k.ps.harvest(); err != nil {
+			return err
+		}
 	}
 	if k.rx != nil {
-		k.rx.harvest()
+		if err := k.rx.harvest(); err != nil {
+			return err
+		}
 	}
 	cw := ckptio.NewWriter(w)
 	cw.U64(kernelStateVersion)
@@ -236,6 +247,12 @@ func (k *KSourceKernel) RestoreState(r io.Reader) error {
 		return fmt.Errorf("algo: %s state has implausible stage %d", k.Name(), stage)
 	}
 	k.stage, k.h, k.n, k.remaining, k.sources, k.ps, k.rx = stage, h, n, remaining, sources, ps, rx
+	if k.ps != nil {
+		k.ps.gather = k.gather
+	}
+	if k.rx != nil {
+		k.rx.gather = k.gather
+	}
 	if stage == 3 && rx != nil {
 		k.dist = rx.distRows()
 	}
@@ -247,7 +264,9 @@ func (k *KSourceKernel) RestoreState(r io.Reader) error {
 // constructed hopset plus relaxation cursor (stages 2-3).
 func (k *ApproxKSourceKernel) SnapshotState(w io.Writer) error {
 	if k.rx != nil {
-		k.rx.harvest()
+		if err := k.rx.harvest(); err != nil {
+			return err
+		}
 	}
 	cw := ckptio.NewWriter(w)
 	cw.U64(kernelStateVersion)
@@ -315,6 +334,12 @@ func (k *ApproxKSourceKernel) RestoreState(r io.Reader) error {
 		}
 	}
 	k.stage, k.n, k.sources, k.params, k.ck, k.hs, k.rx = stage, n, sources, params, ck, hs, rx
+	if k.ck != nil {
+		k.ck.SetGatherer(k.gather)
+	}
+	if k.rx != nil {
+		k.rx.gather = k.gather
+	}
 	if stage == 3 && rx != nil {
 		k.dist = rx.distRows()
 	}

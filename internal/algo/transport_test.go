@@ -1,0 +1,95 @@
+package algo
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/hopset"
+)
+
+// TestApproxSSSPAcrossTransports runs the paper's headline kernel on a
+// clique sharded across socket-transport ranks and requires the result
+// to be indistinguishable from the in-process run: every rank must
+// hold the complete distance vector (the TransportAware gather at each
+// harvest) bit-identical to the MemTransport reference, and every
+// rank's replay digest chain must match it round for round.
+func TestApproxSSSPAcrossTransports(t *testing.T) {
+	const n = 64
+	g := graph.RandomGNP(n, 0.15, 1).WithUniformRandomWeights(2, 16)
+	params := hopset.Params{}
+
+	runRank := func(tr engine.Transport) ([]int64, []uint64, error) {
+		opts := []clique.Option{clique.WithDigests()}
+		if tr != nil {
+			opts = append(opts, clique.WithTransport(tr))
+		}
+		s, err := clique.New(g, opts...)
+		if err != nil {
+			if tr != nil {
+				tr.Close()
+			}
+			return nil, nil, err
+		}
+		defer s.Close()
+		k := NewApproxSSSPKernel(0, params)
+		if err := s.Run(context.Background(), k); err != nil {
+			return nil, nil, err
+		}
+		return k.Dist(), s.Digests(), nil
+	}
+
+	wantDist, wantDigests, err := runRank(nil)
+	if err != nil {
+		t.Fatalf("mem reference: %v", err)
+	}
+	if wantDist == nil || len(wantDigests) == 0 {
+		t.Fatalf("mem reference produced dist %v, %d digests", wantDist, len(wantDigests))
+	}
+
+	for _, tc := range []struct {
+		transport string
+		ranks     int
+	}{
+		{"socket-unix", 2},
+		{"socket-tcp", 3},
+	} {
+		t.Run(fmt.Sprintf("%s-r%d", tc.transport, tc.ranks), func(t *testing.T) {
+			trs, err := engine.NewTransportCluster(tc.transport, tc.ranks)
+			if err != nil {
+				t.Fatalf("NewTransportCluster: %v", err)
+			}
+			dists := make([][]int64, tc.ranks)
+			digests := make([][]uint64, tc.ranks)
+			errs := make([]error, tc.ranks)
+			var wg sync.WaitGroup
+			for i := range trs {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					dists[rank], digests[rank], errs[rank] = runRank(trs[rank])
+				}(i)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", rank, err)
+				}
+			}
+			for rank := 0; rank < tc.ranks; rank++ {
+				if !reflect.DeepEqual(dists[rank], wantDist) {
+					t.Errorf("rank %d distances diverge from the in-process run", rank)
+				}
+				if !reflect.DeepEqual(digests[rank], wantDigests) {
+					t.Errorf("rank %d digest chain diverges from the in-process run (%d vs %d rounds)",
+						rank, len(digests[rank]), len(wantDigests))
+				}
+			}
+		})
+	}
+}

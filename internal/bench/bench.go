@@ -18,19 +18,21 @@ import (
 // Host records the machine a report was measured on. It is embedded in
 // every report type so the fields inline into the JSON object.
 type Host struct {
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	CPUs      int    `json:"cpus"`
-	GoVersion string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
 }
 
 // CurrentHost captures the running machine's metadata.
 func CurrentHost() Host {
 	return Host{
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		GoVersion: runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
 	}
 }
 
@@ -52,8 +54,11 @@ func WriteJSON(path string, v any) error {
 
 // Result is one measured configuration.
 type Result struct {
-	Name         string  `json:"name"`
-	N            int     `json:"n"`
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	// Procs is the GOMAXPROCS the entry was measured at; 0 means the
+	// process default (the per-proc scaling entries pin it explicitly).
+	Procs        int     `json:"procs,omitempty"`
 	Fanout       int     `json:"fanout"`
 	Rounds       int     `json:"rounds"`
 	Messages     uint64  `json:"messages"`
@@ -126,7 +131,30 @@ func Flood(n, rounds, fanout int) (Result, error) {
 	return res, nil
 }
 
-// Run measures the flood workload across the given clique sizes and
+// FloodAtProcs runs the flood workload with GOMAXPROCS pinned to procs
+// for the duration of the run (restored afterwards), labeling the
+// result with the proc count — the per-proc scaling entries the CI
+// perf gate tracks so a parallelism regression in the engine or router
+// cannot hide behind the default-procs aggregate.
+func FloodAtProcs(n, rounds, fanout, procs int) (Result, error) {
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	res, err := Flood(n, rounds, fanout)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: flood procs=%d: %w", procs, err)
+	}
+	res.Name = "engine_flood_procs"
+	res.Procs = procs
+	return res, nil
+}
+
+// ScalingProcs is the GOMAXPROCS ladder the per-proc flood entries
+// measure; the ladder is fixed (not clamped to the host CPU count) so
+// entries always line up with committed baselines.
+var ScalingProcs = []int{1, 2, 4}
+
+// Run measures the flood workload across the given clique sizes —
+// plus the per-proc scaling ladder at the largest size — and
 // assembles the report.
 func Run(sizes []int, rounds, fanout int) (*Report, error) {
 	rep := &Report{
@@ -139,6 +167,16 @@ func Run(sizes []int, rounds, fanout int) (*Report, error) {
 			return nil, err
 		}
 		rep.Results = append(rep.Results, res)
+	}
+	if len(sizes) > 0 {
+		n := sizes[len(sizes)-1]
+		for _, procs := range ScalingProcs {
+			res, err := FloodAtProcs(n, rounds, fanout, procs)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, res)
+		}
 	}
 	return rep, nil
 }

@@ -42,8 +42,18 @@ func TestRunReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Results) != 2 || rep.Results[0].N != 16 || rep.Results[1].N != 32 {
+	// Two aggregate flood entries plus the per-proc scaling ladder at
+	// the largest size.
+	want := 2 + len(ScalingProcs)
+	if len(rep.Results) != want || rep.Results[0].N != 16 || rep.Results[1].N != 32 {
 		t.Errorf("unexpected results: %+v", rep.Results)
+	}
+	for i, procs := range ScalingProcs {
+		res := rep.Results[2+i]
+		if res.Name != "engine_flood_procs" || res.N != 32 || res.Procs != procs {
+			t.Errorf("scaling entry %d = %+v, want engine_flood_procs n=32 procs=%d",
+				i, res, procs)
+		}
 	}
 	if rep.Schema == "" || rep.CPUs <= 0 {
 		t.Errorf("incomplete metadata: %+v", rep)

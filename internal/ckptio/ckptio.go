@@ -45,6 +45,13 @@ const FNVOffset uint64 = 14695981039346656037
 // feasible clique state (n <= 2^14 gives n^2 = 2^28 matrix entries).
 const maxSliceLen = 1 << 28
 
+// allocChunk bounds the initial capacity the Reader allocates for a
+// length-prefixed slice (elements) or blob (bytes). Decoding then grows
+// by appending as bytes actually arrive, so a truncated stream whose
+// prefix claims a huge length allocates O(bytes present), not
+// O(claimed length) — the property FuzzDecode enforces.
+const allocChunk = 1 << 16
+
 // Writer encodes fixed-width values to an io.Writer with a sticky
 // error and a running FNV-1a digest over every byte written. After the
 // last field, callers check Err once and may append Sum as an
@@ -236,14 +243,30 @@ func (r *Reader) sliceLen() int {
 	return int(n)
 }
 
+// readBytes reads exactly n bytes, growing the result in bounded
+// chunks so a corrupt length prefix cannot force an allocation larger
+// than the bytes actually present in the stream.
+func (r *Reader) readBytes(n int) []byte {
+	p := make([]byte, 0, min(n, allocChunk))
+	for len(p) < n {
+		c := min(n-len(p), allocChunk)
+		start := len(p)
+		p = append(p, make([]byte, c)...)
+		r.read(p[start:], false)
+		if r.err != nil {
+			return nil
+		}
+	}
+	return p
+}
+
 // String reads a length-prefixed string.
 func (r *Reader) String() string {
 	n := r.sliceLen()
 	if n == 0 {
 		return ""
 	}
-	p := make([]byte, n)
-	r.read(p, false)
+	p := r.readBytes(n)
 	if r.err != nil {
 		return ""
 	}
@@ -256,12 +279,13 @@ func (r *Reader) U64s() []uint64 {
 	if n == 0 {
 		return nil
 	}
-	vs := make([]uint64, n)
-	for i := range vs {
-		vs[i] = r.U64()
-	}
-	if r.err != nil {
-		return nil
+	vs := make([]uint64, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := r.U64()
+		if r.err != nil {
+			return nil
+		}
+		vs = append(vs, v)
 	}
 	return vs
 }
@@ -272,12 +296,13 @@ func (r *Reader) I64s() []int64 {
 	if n == 0 {
 		return nil
 	}
-	vs := make([]int64, n)
-	for i := range vs {
-		vs[i] = r.I64()
-	}
-	if r.err != nil {
-		return nil
+	vs := make([]int64, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := r.I64()
+		if r.err != nil {
+			return nil
+		}
+		vs = append(vs, v)
 	}
 	return vs
 }
@@ -288,12 +313,13 @@ func (r *Reader) I32s() []int32 {
 	if n == 0 {
 		return nil
 	}
-	vs := make([]int32, n)
-	for i := range vs {
-		vs[i] = int32(r.I64())
-	}
-	if r.err != nil {
-		return nil
+	vs := make([]int32, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := int32(r.I64())
+		if r.err != nil {
+			return nil
+		}
+		vs = append(vs, v)
 	}
 	return vs
 }
@@ -304,12 +330,13 @@ func (r *Reader) NodeIDs() []core.NodeID {
 	if n == 0 {
 		return nil
 	}
-	vs := make([]core.NodeID, n)
-	for i := range vs {
-		vs[i] = core.NodeID(r.I64())
-	}
-	if r.err != nil {
-		return nil
+	vs := make([]core.NodeID, 0, min(n, allocChunk))
+	for i := 0; i < n; i++ {
+		v := core.NodeID(r.I64())
+		if r.err != nil {
+			return nil
+		}
+		vs = append(vs, v)
 	}
 	return vs
 }
@@ -321,8 +348,7 @@ func (r *Reader) Blob() []byte {
 	if n == 0 {
 		return nil
 	}
-	p := make([]byte, n)
-	r.read(p, false)
+	p := r.readBytes(n)
 	if r.err != nil {
 		return nil
 	}

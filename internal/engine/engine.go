@@ -76,6 +76,15 @@ type Options struct {
 	// match. Off by default: the round loop then pays a single branch
 	// and never touches the delivered messages.
 	RecordDigests bool
+	// Transport selects the fabric that completes each round's
+	// all-to-all exchange (see transport.go). Nil selects the
+	// in-process MemTransport — the zero-allocation slab scatter. A
+	// multi-rank transport (SocketTransport) makes this engine one
+	// rank of a larger logical clique: it executes only the
+	// transport's Partition of the node set and exchanges round frames
+	// with its peers. The engine takes ownership: Close closes the
+	// transport.
+	Transport Transport
 }
 
 // Validate rejects option values that would otherwise slip through to
@@ -210,6 +219,13 @@ type Engine struct {
 	nodes   []Node
 	round   core.Round
 
+	// transport completes each round's exchange; binding is the
+	// engine-side surface it drives. partLo/partHi is the local node
+	// range the transport assigned this engine.
+	transport      Transport
+	binding        *Binding
+	partLo, partHi int
+
 	cmds    []chan workerCmd
 	barrier sync.WaitGroup
 	started bool
@@ -256,27 +272,55 @@ func New(n int, opts Options) (*Engine, error) {
 	if opts.Budget == (core.Budget{}) {
 		opts.Budget = core.DefaultBudget(n)
 	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = NewMemTransport()
+	}
+	partLo, partHi := tr.Partition(n)
+	if partLo < 0 || partHi < partLo || partHi > n {
+		return nil, fmt.Errorf("engine: transport %s partition [%d, %d) outside [0, %d)", tr.Name(), partLo, partHi, n)
+	}
 	w := opts.Workers
 	e := &Engine{
-		n:       n,
-		opts:    opts,
-		workers: w,
-		rt:      newRouter(n, w, w, opts.Budget),
-		ctxs:    make([]*Ctx, w),
-		lo:      make([]int, w),
-		hi:      make([]int, w),
-		errs:    make([]error, w),
-		cmds:    make([]chan workerCmd, w),
+		n:         n,
+		opts:      opts,
+		workers:   w,
+		rt:        newRouter(n, w, w, opts.Budget),
+		ctxs:      make([]*Ctx, w),
+		lo:        make([]int, w),
+		hi:        make([]int, w),
+		errs:      make([]error, w),
+		cmds:      make([]chan workerCmd, w),
+		transport: tr,
+		partLo:    partLo,
+		partHi:    partHi,
 	}
 	for i := 0; i < w; i++ {
-		// Contiguous node ranges, aligned with the router's shard
-		// bounds so worker i also scatters shard i.
-		e.lo[i] = int(e.rt.bounds[i])
-		e.hi[i] = int(e.rt.bounds[i+1])
+		// Contiguous node ranges over the transport's local partition,
+		// in the same ceil split as the router's shard bounds — for the
+		// full partition [0, n) (MemTransport) worker i's range is
+		// exactly shard i, and handlers always run nodes in ID order.
+		local := partHi - partLo
+		e.lo[i] = partLo + (i*local+w-1)/w
+		e.hi[i] = partLo + ((i+1)*local+w-1)/w
 		e.ctxs[i] = &Ctx{rt: e.rt, w: i, n: n}
+	}
+	e.binding = &Binding{e: e}
+	if err := tr.Bind(e.binding); err != nil {
+		e.rt.release()
+		return nil, fmt.Errorf("engine: binding transport %s: %w", tr.Name(), err)
 	}
 	return e, nil
 }
+
+// Transport returns the engine's bound transport — the Gatherer
+// kernels use to synchronize harvested results across ranks.
+func (e *Engine) Transport() Transport { return e.transport }
+
+// Partition returns the contiguous local node range [lo, hi) this
+// engine executes — all of [0, n) for the in-process transport, one
+// rank's shard otherwise.
+func (e *Engine) Partition() (lo, hi int) { return e.partLo, e.partHi }
 
 // NumNodes returns the clique size the engine was built for.
 func (e *Engine) NumNodes() int { return e.n }
@@ -305,9 +349,9 @@ func (e *Engine) start() {
 	e.started = true
 }
 
-// Close shuts down the worker pool and returns the router's slabs to
-// the shared pool. The engine must not be used afterwards; Close is
-// idempotent.
+// Close shuts down the worker pool, returns the router's slabs to the
+// shared pool, and closes the bound transport. The engine must not be
+// used afterwards; Close is idempotent.
 func (e *Engine) Close() {
 	if e.closed {
 		return
@@ -319,6 +363,19 @@ func (e *Engine) Close() {
 		}
 	}
 	e.rt.release()
+	if e.transport != nil {
+		e.transport.Close() //nolint:errcheck // teardown is best-effort
+	}
+}
+
+// parallelScatter runs phase B on the worker pool: shard s is
+// scattered by worker s. Exposed to transports via Binding.
+func (e *Engine) parallelScatter() {
+	e.barrier.Add(e.workers)
+	for _, ch := range e.cmds {
+		ch <- cmdScatter
+	}
+	e.barrier.Wait()
 }
 
 // runNodes executes phase A for worker w: invoke every owned node's
@@ -478,12 +535,15 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 			h.BarrierEnter(e.round)
 		}
 		if err := ctx.Err(); err != nil {
+			// A cancelled rank must not leave peers blocked in their
+			// exchange: tear the round down loudly before returning.
+			e.transport.Abort(err)
 			stats.Wall = baseWall + time.Since(runStart)
 			return stats, err
 		}
 		t0 := time.Now()
 
-		// Phase A: all round handlers in parallel.
+		// Phase A: all locally-owned round handlers in parallel.
 		e.barrier.Add(e.workers)
 		for _, ch := range e.cmds {
 			ch <- cmdRunNodes
@@ -491,25 +551,30 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 		e.barrier.Wait()
 		for _, err := range e.errs {
 			if err != nil {
+				e.transport.Abort(err)
 				stats.Wall = baseWall + time.Since(runStart)
 				return stats, err
 			}
 		}
 
-		// Phase B: parallel scatter, shard s by worker s.
-		e.barrier.Add(e.workers)
-		for _, ch := range e.cmds {
-			ch <- cmdScatter
-		}
-		e.barrier.Wait()
-		e.rt.finishRound()
-
+		// Phase B: the transport completes the round — the in-process
+		// transport scatters the slabs in parallel (shard s by worker
+		// s); a multi-rank transport exchanges round frames with its
+		// peers. Either way the inbox banks are swapped and the global
+		// message count comes back, so quiescence is a cluster-wide
+		// event every rank observes on the same round.
 		var sentTotal uint64
 		for _, c := range e.ctxs {
 			sentTotal += c.sent
 		}
-		roundMsgs := sentTotal - prevSent
+		localMsgs := sentTotal - prevSent
 		prevSent = sentTotal
+		roundMsgs, xerr := e.transport.Exchange(e.round, localMsgs)
+		if xerr != nil {
+			e.transport.Abort(xerr)
+			stats.Wall = baseWall + time.Since(runStart)
+			return stats, xerr
+		}
 
 		rs := RoundStats{
 			Round: e.round,
@@ -535,6 +600,7 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 		}
 		if e.opts.RoundHook != nil {
 			if err := e.callRoundHook(rs); err != nil {
+				e.transport.Abort(err)
 				stats.Wall = baseWall + time.Since(runStart)
 				return stats, err
 			}

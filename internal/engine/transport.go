@@ -1,0 +1,266 @@
+// The Transport interface is the seam between the engine's round loop
+// and the fabric that completes a round's all-to-all exchange. The
+// Dory–Parter round structure only assumes a synchronous all-to-all of
+// B = O(log n)-bit words; everything below that — in-process slabs,
+// sockets between processes — is a Transport implementation detail.
+//
+// Contract (enforced by the conformance suite in
+// transportconformance_test.go):
+//
+//   - Partition(n) returns the contiguous node range [lo, hi) this
+//     transport instance executes locally. The in-process transport
+//     owns all of [0, n); a k-rank transport owns one ceil-partition
+//     shard. Handlers run only for local nodes.
+//   - Bind attaches the transport to one engine via a Binding and, for
+//     multi-rank transports, establishes the peer mesh.
+//   - Exchange completes round r: it moves every message queued this
+//     round (locally and on every peer rank) into the engine's inbox
+//     bank, swaps the banks, and returns the GLOBAL message count of
+//     the round — the engine's quiescence condition, so every rank
+//     exits its round loop at the same round. After Exchange, the
+//     inbox bank must hold the complete round traffic for all n
+//     destinations, per destination in source-ascending order with
+//     each source's messages in send order — the exact order
+//     MemTransport produces, which is what makes replay digest chains
+//     bit-comparable across transports.
+//   - AllGatherRows synchronizes a row-major n x rowLen result slab
+//     across ranks at a harvest point (each rank contributes the rows
+//     of its local node range). A no-op for single-rank transports.
+//   - Abort tears the current round down loudly after a local error so
+//     peer ranks blocked in Exchange fail instead of hanging. It is
+//     not called for deterministic global events (quiescence,
+//     ErrMaxRounds): every rank observes those on its own and exits in
+//     lockstep.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// Gatherer is the result-synchronization face of a Transport: kernels
+// that harvest row-major per-node state call AllGatherRows at pass
+// boundaries so every rank holds the complete result. The clique
+// session injects the session's transport into kernels implementing
+// clique.TransportAware.
+type Gatherer interface {
+	// AllGatherRows synchronizes flat, a row-major slab of n rows of
+	// rowLen int64 words each (len(flat) == n*rowLen): each rank
+	// contributes rows [lo, hi) of its Partition and receives every
+	// other rank's rows in place. Deterministic and synchronous: every
+	// rank must call it the same number of times with the same shape.
+	AllGatherRows(flat []int64, rowLen int) error
+}
+
+// Transport moves one round's messages between the node shards of one
+// logical clique. Implementations must be driven by exactly one engine
+// (Bind pairs them); all methods are called from the engine's run loop,
+// never concurrently. See the package comment of this file for the
+// full contract and transportconformance_test.go for its executable
+// form.
+type Transport interface {
+	Gatherer
+	// Name identifies the transport ("mem", "socket-tcp", ...).
+	Name() string
+	// Partition returns the local node range [lo, hi) for a clique of
+	// n nodes. Called once by engine.New before Bind.
+	Partition(n int) (lo, hi int)
+	// Bind attaches the transport to the engine behind b and, for
+	// multi-rank transports, performs the peer handshake.
+	Bind(b *Binding) error
+	// Exchange completes round r. localMsgs is the number of messages
+	// queued locally this round; the return value is the global count
+	// across all ranks (equal to localMsgs for single-rank
+	// transports). On error the round is broken and the engine run
+	// fails; the engine then calls Abort.
+	Exchange(r core.Round, localMsgs uint64) (uint64, error)
+	// Abort tears down the current exchange after a local engine error
+	// (handler error, context cancellation, hook panic) so peers fail
+	// loudly instead of deadlocking. Idempotent; a no-op for
+	// single-rank transports.
+	Abort(reason error)
+	// Close releases sockets/listeners. The transport must not be used
+	// afterwards; Close is idempotent.
+	Close() error
+}
+
+// Binding is the engine-side surface a Transport drives. It exposes
+// exactly the router operations a transport needs — scatter locally,
+// drain the out-slabs, refill and swap the inbox banks — without
+// exporting router internals.
+type Binding struct {
+	e *Engine
+}
+
+// N returns the clique size of the bound engine.
+func (b *Binding) N() int { return b.e.n }
+
+// Budget returns the bound engine's per-link bandwidth budget (for
+// cross-rank handshake validation).
+func (b *Binding) Budget() core.Budget { return b.e.opts.Budget }
+
+// ParallelScatter scatters this round's out-slabs into the spare inbox
+// bank using the engine's worker pool (shard s by worker s) — the
+// in-process fast path. Must be followed by FinishRound.
+func (b *Binding) ParallelScatter() { b.e.parallelScatter() }
+
+// FinishRound swaps the inbox banks and advances the router's
+// bandwidth epoch; call it exactly once per Exchange after the spare
+// bank holds the round's complete traffic.
+func (b *Binding) FinishRound() { b.e.rt.finishRound() }
+
+// DrainOut streams every message queued in the local out-slabs this
+// round — worker-major, shard-major, append order within a slab, which
+// per destination is exactly the router's deterministic delivery order
+// — and truncates the slabs. Used by transports that serialize the
+// round instead of scattering in place.
+func (b *Binding) DrainOut(emit func(dst, src core.NodeID, payload uint64)) {
+	rt := b.e.rt
+	for w := range rt.out {
+		for s := range rt.out[w] {
+			buf := rt.out[w][s]
+			for i := range buf {
+				m := &buf[i]
+				emit(m.dst, m.src, m.payload)
+			}
+			if buf != nil {
+				rt.out[w][s] = buf[:0]
+			}
+		}
+	}
+}
+
+// ClearSpare truncates every destination's spare inbox ahead of
+// Deliver refill (capacity retained).
+func (b *Binding) ClearSpare() {
+	rt := b.e.rt
+	for d := range rt.spare {
+		rt.spare[d] = rt.spare[d][:0]
+	}
+}
+
+// Deliver appends one message to dst's spare inbox. Callers are
+// responsible for global delivery order: streams must be replayed in
+// rank order so per-destination order matches MemTransport.
+func (b *Binding) Deliver(dst, src core.NodeID, payload uint64) {
+	rt := b.e.rt
+	rt.spare[dst] = append(rt.spare[dst], Message{Src: src, Payload: payload})
+}
+
+// MemTransport is the in-process transport: the engine's sharded slab
+// router already implements the exchange, so Exchange is exactly the
+// parallel scatter plus the bank swap the pre-Transport engine did
+// inline — same code path, same 0 allocs/op. It is the default when
+// Options.Transport is nil.
+type MemTransport struct {
+	b *Binding
+}
+
+// NewMemTransport returns the in-process transport.
+func NewMemTransport() *MemTransport { return &MemTransport{} }
+
+// Name identifies the transport.
+func (t *MemTransport) Name() string { return "mem" }
+
+// Partition owns the whole clique: [0, n).
+func (t *MemTransport) Partition(n int) (lo, hi int) { return 0, n }
+
+// Bind attaches the transport to its engine.
+func (t *MemTransport) Bind(b *Binding) error {
+	t.b = b
+	return nil
+}
+
+// Exchange scatters the round's slabs in parallel and swaps the inbox
+// banks. All traffic is local, so the global count is localMsgs.
+func (t *MemTransport) Exchange(r core.Round, localMsgs uint64) (uint64, error) {
+	t.b.ParallelScatter()
+	t.b.FinishRound()
+	return localMsgs, nil
+}
+
+// AllGatherRows is a no-op: a single rank already holds every row.
+func (t *MemTransport) AllGatherRows(flat []int64, rowLen int) error { return nil }
+
+// Abort is a no-op: there are no peers to notify.
+func (t *MemTransport) Abort(reason error) {}
+
+// Close is a no-op.
+func (t *MemTransport) Close() error { return nil }
+
+// RankBounds returns the contiguous node range [lo, hi) owned by rank
+// of a clique of n nodes split across ranks processes — the same ceil
+// partition the router uses for shard bounds, so rank boundaries and
+// shard boundaries agree when they must.
+func RankBounds(n, rank, ranks int) (lo, hi int) {
+	lo = (rank*n + ranks - 1) / ranks
+	hi = ((rank+1)*n + ranks - 1) / ranks
+	return lo, hi
+}
+
+// ClusterFactory builds the ranks linked transports of one logical
+// clique, index i being rank i's. Used by the transport registry so
+// conformance tests and ccbench can instantiate any registered
+// transport uniformly.
+type ClusterFactory func(ranks int) ([]Transport, error)
+
+var (
+	transportMu  sync.Mutex
+	transportReg = map[string]ClusterFactory{}
+)
+
+// RegisterTransport registers a transport cluster factory under name.
+// Duplicate names panic (registration is an init-time event).
+func RegisterTransport(name string, f ClusterFactory) {
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	if _, dup := transportReg[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate transport %q", name))
+	}
+	transportReg[name] = f
+}
+
+// NewTransportCluster builds the ranks linked transports of the named
+// registered transport.
+func NewTransportCluster(name string, ranks int) ([]Transport, error) {
+	transportMu.Lock()
+	f, ok := transportReg[name]
+	transportMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown transport %q (have %v)", name, TransportNames())
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("engine: transport cluster needs >= 1 rank, got %d", ranks)
+	}
+	return f(ranks)
+}
+
+// TransportNames lists the registered transports, sorted.
+func TransportNames() []string {
+	transportMu.Lock()
+	defer transportMu.Unlock()
+	names := make([]string, 0, len(transportReg))
+	for name := range transportReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterTransport("mem", func(ranks int) ([]Transport, error) {
+		if ranks != 1 {
+			return nil, fmt.Errorf("engine: mem transport is single-rank, got %d ranks", ranks)
+		}
+		return []Transport{NewMemTransport()}, nil
+	})
+	RegisterTransport("socket-tcp", func(ranks int) ([]Transport, error) {
+		return LoopbackCluster(ranks, "tcp", 0)
+	})
+	RegisterTransport("socket-unix", func(ranks int) ([]Transport, error) {
+		return LoopbackCluster(ranks, "unix", 0)
+	})
+}

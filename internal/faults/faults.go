@@ -1,11 +1,14 @@
 // Package faults is the fault-injection harness for the Congested
 // Clique simulator: a declarative Plan is compiled into the engine's
-// test hooks (engine.SetTestHooks) and the clique checkpoint writer
-// hook (clique.SetCheckpointWriteHook) to stall workers mid-phase,
-// fail node handlers at chosen (pass, round, node) coordinates, cancel
-// runs at a precise round barrier, and corrupt or truncate checkpoint
-// writes — all without the production code paths carrying any test
-// logic beyond a nil pointer check.
+// test hooks (engine.SetTestHooks), the socket transport's frame hooks
+// (engine.SetTransportHooks), and the clique checkpoint writer hook
+// (clique.SetCheckpointWriteHook) to stall workers mid-phase, fail
+// node handlers at chosen (pass, round, node) coordinates, cancel runs
+// at a precise round barrier, drop, duplicate, corrupt, or sever
+// socket-transport frames at chosen (src rank, dst rank, kind, seq)
+// coordinates, and corrupt or truncate checkpoint writes — all without
+// the production code paths carrying any test logic beyond a nil
+// pointer check.
 //
 // The package also hosts the headline robustness property tests:
 // crash/resume equivalence (kill a kernel at an injected fault, resume
@@ -72,11 +75,47 @@ type Plan struct {
 	// errors.
 	CheckpointWriter func(io.Writer) io.Writer
 
-	// pass tracks engine passes observed via round barriers; fired
-	// makes the handler fault one-shot so a resumed run is clean.
-	pass  atomic.Int64
-	fired atomic.Bool
+	// TransportSrc, TransportDst, TransportKind, TransportSeq, and
+	// TransportMode strike one frame of socket-transport traffic: the
+	// first frame rank TransportSrc sends to rank TransportDst with the
+	// given kind (engine.FrameKindRound, engine.FrameKindGather, ...)
+	// and sequence number is dropped, duplicated, bit-flipped, or has
+	// its connection killed per TransportMode. Enabled when
+	// TransportMode is non-zero; one-shot, like the handler fault.
+	// Every mode must surface as a loud transport error on some rank —
+	// the socket transport never degrades silently.
+	TransportSrc  int
+	TransportDst  int
+	TransportKind uint64
+	TransportSeq  uint64
+	TransportMode TransportMode
+
+	// pass tracks engine passes observed via round barriers; fired /
+	// tfired make the handler and transport faults one-shot so a
+	// resumed run is clean.
+	pass   atomic.Int64
+	fired  atomic.Bool
+	tfired atomic.Bool
 }
+
+// TransportMode selects how an armed transport fault mangles the
+// selected frame.
+type TransportMode int
+
+const (
+	// DropFrame swallows the frame: the receiver sees nothing and must
+	// fail on its read deadline (or on the sender's later abort).
+	DropFrame TransportMode = iota + 1
+	// DupFrame sends the frame twice: the second copy arrives with a
+	// stale sequence number and must be rejected as replayed traffic.
+	DupFrame
+	// CorruptFrame flips one bit inside the frame payload: the ckptio
+	// integrity trailer must catch it on decode.
+	CorruptFrame
+	// KillConn closes the sender's connection to the destination rank
+	// in place of the write.
+	KillConn
+)
 
 // Install arms p: the engine's test hooks and the clique checkpoint
 // writer hook are pointed at this plan. Exactly one plan can be
@@ -89,6 +128,10 @@ func Install(p *Plan) {
 		NodeError:    p.nodeError,
 		WorkerPhase:  p.workerPhase,
 	})
+	engine.SetTransportHooks(&engine.TransportHooks{
+		FrameOut: p.frameOut,
+		KillConn: p.killConn,
+	})
 	clique.SetCheckpointWriteHook(p.CheckpointWriter)
 }
 
@@ -96,6 +139,7 @@ func Install(p *Plan) {
 // production behavior.
 func Uninstall() {
 	engine.SetTestHooks(nil)
+	engine.SetTransportHooks(nil)
 	clique.SetCheckpointWriteHook(nil)
 }
 
@@ -129,6 +173,45 @@ func (p *Plan) workerPhase(worker, phase int) {
 	if p.StallFor > 0 && worker == p.StallWorker && phase == p.StallPhase {
 		time.Sleep(p.StallFor)
 	}
+}
+
+// transportMatch reports whether (srcRank, dstRank, kind, seq) is the
+// armed transport fault's target and, on the first match, consumes the
+// one-shot flag.
+func (p *Plan) transportMatch(srcRank, dstRank int, kind, seq uint64) bool {
+	if p.TransportMode == 0 ||
+		srcRank != p.TransportSrc || dstRank != p.TransportDst ||
+		kind != p.TransportKind || seq != p.TransportSeq {
+		return false
+	}
+	return p.tfired.CompareAndSwap(false, true)
+}
+
+// killConn is the engine.TransportHooks.KillConn implementation: it
+// fires only in KillConn mode so the frame-mangling modes fall through
+// to frameOut.
+func (p *Plan) killConn(srcRank, dstRank int, kind, seq uint64) bool {
+	return p.TransportMode == KillConn && p.transportMatch(srcRank, dstRank, kind, seq)
+}
+
+// frameOut is the engine.TransportHooks.FrameOut implementation: the
+// targeted frame is dropped, duplicated, or bit-flipped; every other
+// frame passes through untouched.
+func (p *Plan) frameOut(srcRank, dstRank int, kind, seq uint64, frame []byte) [][]byte {
+	if p.TransportMode == KillConn || !p.transportMatch(srcRank, dstRank, kind, seq) {
+		return [][]byte{frame}
+	}
+	switch p.TransportMode {
+	case DropFrame:
+		return nil
+	case DupFrame:
+		return [][]byte{frame, frame}
+	case CorruptFrame:
+		c := append([]byte(nil), frame...)
+		c[len(c)-1] ^= 0x01 // inside the integrity trailer
+		return [][]byte{c}
+	}
+	return [][]byte{frame}
 }
 
 // WriteFailer wraps an io.Writer and fails after limit bytes with the

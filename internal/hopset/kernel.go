@@ -29,7 +29,13 @@ type ConstructKernel struct {
 	pass      *matmul.Pass
 	remaining int
 	hs        *Hopset
+	gather    engine.Gatherer
 }
+
+// SetGatherer injects the session transport's all-gather so every
+// product harvest assembles the full hub distance columns on every
+// rank (clique TransportAware hook).
+func (k *ConstructKernel) SetGatherer(g engine.Gatherer) { k.gather = g }
 
 // NewConstructKernel returns a hopset construction kernel with the
 // given parameters (zero-value fields select the defaults; see
@@ -52,12 +58,15 @@ func (k *ConstructKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 		}
 	}
 	if k.stage == 1 {
-		k.harvest()
+		if err := k.harvest(); err != nil {
+			return nil, err
+		}
 		if k.remaining > 0 {
 			pass, err := matmul.NewDensePass(k.base, k.cur, false)
 			if err != nil {
 				return nil, err
 			}
+			pass.SetGatherer(k.gather)
 			k.pass = pass
 			return pass.Nodes(), nil
 		}
@@ -72,15 +81,19 @@ func (k *ConstructKernel) Nodes(g *graph.CSR) ([]engine.Node, error) {
 }
 
 // harvest folds the completed in-flight product (if any) into the hub
-// distance columns. Idempotent, so checkpointing can force it at a
-// pass boundary.
-func (k *ConstructKernel) harvest() {
+// distance columns, gathering it across transport ranks first.
+// Idempotent, so checkpointing can force it at a pass boundary.
+func (k *ConstructKernel) harvest() error {
 	if k.pass == nil {
-		return
+		return nil
+	}
+	if err := k.pass.Gather(); err != nil {
+		return err
 	}
 	k.cur = k.pass.Dense()
 	k.pass = nil
 	k.remaining--
+	return nil
 }
 
 // start validates the inputs and prepares the product loop.

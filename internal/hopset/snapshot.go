@@ -78,7 +78,9 @@ func ReadHopset(r *ckptio.Reader) (*Hopset, error) {
 // at pass boundaries only (clique.Checkpointable); the in-flight
 // product, if any, is harvested first.
 func (k *ConstructKernel) SnapshotState(w io.Writer) error {
-	k.harvest()
+	if err := k.harvest(); err != nil {
+		return err
+	}
 	cw := ckptio.NewWriter(w)
 	cw.U64(kernelStateVersion)
 	cw.I64(int64(k.stage))

@@ -17,7 +17,13 @@ type MulKernel struct {
 	pass    *Pass
 	out     *Matrix
 	done    bool
+	gather  engine.Gatherer
 }
+
+// SetGatherer injects the session transport's all-gather so the
+// harvest assembles the full product on every rank (clique
+// TransportAware hook).
+func (k *MulKernel) SetGatherer(g engine.Gatherer) { k.gather = g }
 
 // NewMulKernel prepares the sparse product A ⊗ B as a session kernel.
 // Operand validation (dimensions, semirings, wire-format fit) happens
@@ -37,8 +43,12 @@ func (k *MulKernel) Nodes(*graph.CSR) ([]engine.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.SetGatherer(k.gather)
 		k.pass = p
 		return p.Nodes(), nil
+	}
+	if err := k.pass.Gather(); err != nil {
+		return nil, err
 	}
 	k.out = k.pass.Sparse()
 	k.done = true
@@ -75,7 +85,13 @@ type MulDenseKernel struct {
 	pass    *Pass
 	out     *Dense
 	done    bool
+	gather  engine.Gatherer
 }
+
+// SetGatherer injects the session transport's all-gather so the
+// harvest assembles the full product on every rank (clique
+// TransportAware hook).
+func (k *MulDenseKernel) SetGatherer(g engine.Gatherer) { k.gather = g }
 
 // NewMulDenseKernel prepares the sparse-dense product A ⊗ B as a
 // session kernel; validation happens at the first Nodes call.
@@ -96,8 +112,12 @@ func (k *MulDenseKernel) Nodes(*graph.CSR) ([]engine.Node, error) {
 		if err != nil {
 			return nil, err
 		}
+		p.SetGatherer(k.gather)
 		k.pass = p
 		return p.Nodes(), nil
+	}
+	if err := k.pass.Gather(); err != nil {
+		return nil, err
 	}
 	k.out = k.pass.Dense()
 	k.done = true

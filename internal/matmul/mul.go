@@ -187,6 +187,36 @@ type Pass struct {
 	nodes   []engine.Node
 	accs    [][]int64
 	flat    []int64
+
+	// gather synchronizes the accumulator slab across transport ranks
+	// at harvest time (nil for purely local runs); gathered makes
+	// Gather idempotent across the repeated harvest calls the pipeline
+	// kernels make.
+	gather   engine.Gatherer
+	gathered bool
+}
+
+// SetGatherer wires the transport's all-gather into the pass's
+// harvest. The clique session injects its transport here (via the
+// kernels' TransportAware hooks) before the pass runs; single-rank
+// transports make Gather a no-op.
+func (p *Pass) SetGatherer(g engine.Gatherer) { p.gather = g }
+
+// Gather synchronizes the accumulated result slab across all ranks of
+// the session's transport — each rank contributes the rows of the
+// nodes it executed. It must run after the pass's engine run quiesced
+// and before Sparse or Dense; calling it again is a no-op.
+func (p *Pass) Gather() error {
+	if p.gathered {
+		return nil
+	}
+	if p.gather != nil && len(p.flat) > 0 {
+		if err := p.gather.AllGatherRows(p.flat, p.cols); err != nil {
+			return err
+		}
+	}
+	p.gathered = true
+	return nil
 }
 
 // NewPass validates and packs the sparse product A ⊗ B. unpaced selects

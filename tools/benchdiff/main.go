@@ -1,0 +1,298 @@
+// benchdiff is the perf-regression gate: it compares freshly measured
+// BENCH_*.json reports against committed baselines and exits non-zero
+// when a tracked metric regresses beyond tolerance.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.20] [-ns-tolerance t] [-min-matches 1] base.json:current.json ...
+//
+// Each positional argument is one baseline/current report pair joined
+// on result identity — the benchmark name plus every configuration
+// field present (n, fanout, procs, p, eps, beta). Metrics fall into
+// two classes with separate tolerances:
+//
+//   - deterministic volume metrics (messages, rounds, exact/approx
+//     counterparts): identical workloads must produce identical counts,
+//     so any drift is an algorithmic change, gated by -tolerance;
+//   - wall-clock metrics (ns_per_msg, ns_per_entry, wall_ns,
+//     exact/approx_wall_ns): host-dependent and noisy, gated by
+//     -ns-tolerance, which defaults to -tolerance and can be loosened
+//     for cross-machine CI or disabled entirely with a negative value
+//     (still reported, never gated).
+//
+// The gate is a per-metric geometric mean of current/baseline ratios
+// across all matched results, so a single noisy configuration cannot
+// fail the build but a systematic slowdown cannot hide behind one fast
+// outlier. Exit status: 0 clean, 1 regression, 2 usage or input error
+// (including fewer joined results than -min-matches — an empty join
+// must read as a broken gate, not a passing one).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// volumeMetrics are deterministic for a fixed workload: message and
+// round counts must reproduce exactly, so they are gated at the strict
+// tolerance on every host.
+var volumeMetrics = []string{
+	"messages", "rounds",
+	"exact_msgs", "exact_rounds",
+	"approx_msgs", "approx_rounds",
+}
+
+// nsMetrics are wall-clock derived and host-dependent; they are gated
+// at the (typically looser) -ns-tolerance.
+var nsMetrics = []string{
+	"ns_per_msg", "ns_per_entry",
+	"wall_ns", "exact_wall_ns", "approx_wall_ns",
+}
+
+// identityFields are the configuration knobs that define which
+// baseline result a current result is compared against; absent fields
+// simply contribute nothing to the key.
+var identityFields = []string{"n", "fanout", "procs", "p", "eps", "beta"}
+
+// report is the generic shape of every BENCH_*.json artifact: a schema
+// tag plus a list of flat result objects whose numeric fields we read
+// dynamically so one tool covers the engine, matmul, and hopset
+// reports alike (and future reports for free).
+type report struct {
+	Schema  string                       `json:"schema"`
+	Results []map[string]json.RawMessage `json:"results"`
+}
+
+// loadReport reads and decodes one report file, rejecting files with
+// no schema or no results — an empty gate input is a configuration
+// error, not a clean pass.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema == "" {
+		return nil, fmt.Errorf("%s: missing schema field", path)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no results", path)
+	}
+	return &rep, nil
+}
+
+// field decodes one numeric field of a result; ok is false when the
+// field is absent or not a number.
+func field(res map[string]json.RawMessage, name string) (float64, bool) {
+	raw, present := res[name]
+	if !present {
+		return 0, false
+	}
+	var v float64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// identity builds the join key of one result from its name and every
+// configuration field it carries.
+func identity(res map[string]json.RawMessage) string {
+	var name string
+	if raw, ok := res["name"]; ok {
+		_ = json.Unmarshal(raw, &name)
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, f := range identityFields {
+		if v, ok := field(res, f); ok {
+			fmt.Fprintf(&b, "|%s=%g", f, v)
+		}
+	}
+	return b.String()
+}
+
+// ratioSet accumulates current/baseline ratios for one metric.
+type ratioSet struct {
+	logSum float64
+	count  int
+	// worstKey and worstRatio identify the single most regressed
+	// configuration, for the diagnostic on failure.
+	worstKey   string
+	worstRatio float64
+}
+
+func (rs *ratioSet) add(key string, ratio float64) {
+	rs.logSum += math.Log(ratio)
+	rs.count++
+	if ratio > rs.worstRatio {
+		rs.worstRatio = ratio
+		rs.worstKey = key
+	}
+}
+
+// geomean returns the geometric mean ratio, or 1 when no pairs matched.
+func (rs *ratioSet) geomean() float64 {
+	if rs.count == 0 {
+		return 1
+	}
+	return math.Exp(rs.logSum / float64(rs.count))
+}
+
+// diffPair joins one baseline/current report pair and feeds every
+// shared metric of every matched result into ratios, returning the
+// number of matched results.
+func diffPair(base, cur *report, ratios map[string]*ratioSet, stderr io.Writer) (int, error) {
+	if base.Schema != cur.Schema {
+		return 0, fmt.Errorf("schema mismatch: baseline %q vs current %q", base.Schema, cur.Schema)
+	}
+	baseByKey := make(map[string]map[string]json.RawMessage, len(base.Results))
+	for _, res := range base.Results {
+		baseByKey[identity(res)] = res
+	}
+	matched := 0
+	for _, res := range cur.Results {
+		key := identity(res)
+		b, ok := baseByKey[key]
+		if !ok {
+			fmt.Fprintf(stderr, "benchdiff: note: %s has no baseline entry (new configuration?)\n", key)
+			continue
+		}
+		matched++
+		for _, metric := range append(append([]string{}, volumeMetrics...), nsMetrics...) {
+			cv, cok := field(res, metric)
+			bv, bok := field(b, metric)
+			if !cok || !bok || bv <= 0 || cv <= 0 {
+				continue // metric absent from this report shape, or degenerate
+			}
+			rs, ok := ratios[metric]
+			if !ok {
+				rs = &ratioSet{}
+				ratios[metric] = rs
+			}
+			rs.add(key, cv/bv)
+		}
+	}
+	return matched, nil
+}
+
+// metricClass returns the tolerance bucket a metric belongs to.
+func metricClass(metric string) string {
+	for _, m := range nsMetrics {
+		if m == metric {
+			return "ns"
+		}
+	}
+	return "volume"
+}
+
+// run is the testable body of main; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tolerance := fs.Float64("tolerance", 0.20, "maximum allowed geomean regression for deterministic volume metrics (0.20 = +20%)")
+	nsTolerance := fs.Float64("ns-tolerance", math.NaN(), "maximum allowed geomean regression for wall-clock metrics (defaults to -tolerance; negative disables the gate for them)")
+	minMatches := fs.Int("min-matches", 1, "fail unless at least this many results joined across all pairs")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no base.json:current.json pairs given")
+		fs.Usage()
+		return 2
+	}
+	if *tolerance < 0 {
+		fmt.Fprintln(stderr, "benchdiff: -tolerance must be >= 0")
+		return 2
+	}
+	if math.IsNaN(*nsTolerance) {
+		*nsTolerance = *tolerance
+	}
+
+	ratios := map[string]*ratioSet{}
+	totalMatched := 0
+	for _, pair := range fs.Args() {
+		basePath, curPath, ok := strings.Cut(pair, ":")
+		if !ok || basePath == "" || curPath == "" {
+			fmt.Fprintf(stderr, "benchdiff: argument %q is not a base.json:current.json pair\n", pair)
+			return 2
+		}
+		base, err := loadReport(basePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		cur, err := loadReport(curPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchdiff:", err)
+			return 2
+		}
+		matched, err := diffPair(base, cur, ratios, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %s: %v\n", pair, err)
+			return 2
+		}
+		totalMatched += matched
+	}
+	if totalMatched < *minMatches {
+		fmt.Fprintf(stderr, "benchdiff: only %d results joined, need %d — the gate is not measuring anything\n",
+			totalMatched, *minMatches)
+		return 2
+	}
+
+	metrics := make([]string, 0, len(ratios))
+	for m := range ratios {
+		metrics = append(metrics, m)
+	}
+	sort.Strings(metrics)
+
+	fmt.Fprintf(stdout, "%-16s %-8s %-8s %-10s %-10s %s\n",
+		"metric", "class", "pairs", "geomean", "limit", "status")
+	failed := false
+	for _, m := range metrics {
+		rs := ratios[m]
+		class := metricClass(m)
+		tol := *tolerance
+		if class == "ns" {
+			tol = *nsTolerance
+		}
+		gm := rs.geomean()
+		status := "ok"
+		limit := fmt.Sprintf("%.3f", 1+tol)
+		switch {
+		case class == "ns" && tol < 0:
+			status = "ungated"
+			limit = "-"
+		case gm > 1+tol:
+			status = "REGRESSED"
+			failed = true
+		}
+		fmt.Fprintf(stdout, "%-16s %-8s %-8d %-10.3f %-10s %s\n",
+			m, class, rs.count, gm, limit, status)
+		if status == "REGRESSED" {
+			fmt.Fprintf(stderr, "benchdiff: %s regressed: geomean ratio %.3f exceeds %.3f (worst: %s at %.3f)\n",
+				m, gm, 1+tol, rs.worstKey, rs.worstRatio)
+		}
+	}
+	fmt.Fprintf(stdout, "%d results joined\n", totalMatched)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

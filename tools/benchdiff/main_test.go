@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// res is a synthetic benchmark result for fixture building.
+type res map[string]any
+
+// writeReport writes a synthetic report fixture and returns its path.
+func writeReport(t *testing.T, dir, name, schema string, results []res) string {
+	t.Helper()
+	doc := map[string]any{"schema": schema, "results": results}
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// engineRes builds a plausible engine flood result.
+func engineRes(n int, nsPerMsg float64, msgs uint64) res {
+	return res{
+		"name": "engine_flood", "n": n, "fanout": 64, "rounds": 33,
+		"messages": msgs, "wall_ns": int64(nsPerMsg * float64(msgs)),
+		"ns_per_msg": nsPerMsg,
+	}
+}
+
+// runDiff invokes run and returns exit code plus captured output.
+func runDiff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	dir := t.TempDir()
+	results := []res{engineRes(64, 17.2, 129024), engineRes(256, 18.3, 524288)}
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1", results)
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1", results)
+	code, stdout, stderr := runDiff(t, base+":"+cur)
+	if code != 0 {
+		t.Fatalf("identical reports: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "2 results joined") {
+		t.Errorf("expected 2 joined results, got:\n%s", stdout)
+	}
+}
+
+// TestInjectedRegressionFails is the gate's core property: a x2
+// ns_per_msg regression on every configuration must fail the build.
+func TestInjectedRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 17.2, 129024), engineRes(256, 18.3, 524288)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 34.4, 129024), engineRes(256, 36.6, 524288)})
+	code, stdout, stderr := runDiff(t, base+":"+cur)
+	if code != 1 {
+		t.Fatalf("x2 regression: exit %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stderr, "ns_per_msg regressed") {
+		t.Errorf("stderr should name the regressed metric:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "REGRESSED") {
+		t.Errorf("stdout should flag the regression:\n%s", stdout)
+	}
+}
+
+// TestVolumeRegressionFails covers the deterministic class: doubled
+// message counts are an algorithmic regression even when timing is
+// ungated.
+func TestVolumeRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 17.2, 129024)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 17.2, 258048)})
+	code, _, stderr := runDiff(t, "-ns-tolerance=-1", base+":"+cur)
+	if code != 1 {
+		t.Fatalf("doubled messages with ns gate off: exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "messages regressed") {
+		t.Errorf("stderr should name messages:\n%s", stderr)
+	}
+}
+
+// TestNsToleranceDisablesTimingGate checks a negative -ns-tolerance
+// reports timing drift without gating on it — the cross-machine CI
+// mode.
+func TestNsToleranceDisablesTimingGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 17.2, 129024)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 172.0, 129024)})
+	code, stdout, _ := runDiff(t, "-ns-tolerance=-1", base+":"+cur)
+	if code != 0 {
+		t.Fatalf("x10 timing with ns gate off: exit %d, want 0\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "ungated") {
+		t.Errorf("stdout should mark timing metrics ungated:\n%s", stdout)
+	}
+}
+
+// TestImprovementPasses: a 2x speedup must not trip the gate (the
+// ratio test is one-sided).
+func TestImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 17.2, 129024)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 8.6, 129024)})
+	if code, stdout, _ := runDiff(t, base+":"+cur); code != 0 {
+		t.Fatalf("improvement: exit %d, want 0\nstdout:\n%s", code, stdout)
+	}
+}
+
+// TestGeomeanAveragesAcrossConfigs: one config regresses x1.5, another
+// improves x0.67 — the geomean sits near 1 and passes, so a single
+// noisy configuration cannot fail the build alone.
+func TestGeomeanAveragesAcrossConfigs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 10, 129024), engineRes(256, 10, 524288)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 15, 129024), engineRes(256, 6.7, 524288)})
+	if code, stdout, stderr := runDiff(t, base+":"+cur); code != 0 {
+		t.Fatalf("balanced drift: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestPerProcEntriesJoinOnProcs: entries differing only in procs must
+// not cross-join — a regression at procs=4 must be caught even when
+// procs=1 improved.
+func TestPerProcEntriesJoinOnProcs(t *testing.T) {
+	dir := t.TempDir()
+	procRes := func(procs int, ns float64) res {
+		r := engineRes(256, ns, 524288)
+		r["name"] = "engine_flood_procs"
+		r["procs"] = procs
+		return r
+	}
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1",
+		[]res{procRes(1, 20), procRes(4, 10)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{procRes(1, 20), procRes(4, 25)})
+	code, _, stderr := runDiff(t, base+":"+cur)
+	if code != 1 {
+		t.Fatalf("procs=4 regression: exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "procs=4") {
+		t.Errorf("worst-config diagnostic should name procs=4:\n%s", stderr)
+	}
+}
+
+// TestHopsetSchemaMetrics: the hopset report's exact/approx metric
+// pairs are gated too, joined on (n, p, eps, beta).
+func TestHopsetSchemaMetrics(t *testing.T) {
+	dir := t.TempDir()
+	hopRes := func(approxRounds int) res {
+		return res{
+			"name": "hopset_approx_sssp_vs_exact_apsp", "n": 64, "p": 0.05,
+			"beta": 16, "eps": 0.5, "hubs": 11,
+			"exact_rounds": 290, "exact_msgs": 100000, "exact_wall_ns": 9000000,
+			"approx_rounds": approxRounds, "approx_msgs": 9000, "approx_wall_ns": 2500000,
+		}
+	}
+	base := writeReport(t, dir, "base.json", "doryp20/bench-hopset/v1", []res{hopRes(100)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench-hopset/v1", []res{hopRes(160)})
+	code, _, stderr := runDiff(t, base+":"+cur)
+	if code != 1 {
+		t.Fatalf("approx_rounds +60%%: exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "approx_rounds regressed") {
+		t.Errorf("stderr should name approx_rounds:\n%s", stderr)
+	}
+}
+
+func TestMultiplePairs(t *testing.T) {
+	dir := t.TempDir()
+	ebase := writeReport(t, dir, "ebase.json", "doryp20/bench/v1", []res{engineRes(64, 17, 129024)})
+	ecur := writeReport(t, dir, "ecur.json", "doryp20/bench/v1", []res{engineRes(64, 17, 129024)})
+	mres := []res{{
+		"name": "matmul_minplus_square", "n": 32, "p": 0.1,
+		"rounds": 10, "messages": 760, "wall_ns": 285505,
+		"ns_per_msg": 375.66, "ns_per_entry": 617.98,
+	}}
+	mbase := writeReport(t, dir, "mbase.json", "doryp20/bench-matmul/v1", mres)
+	mcur := writeReport(t, dir, "mcur.json", "doryp20/bench-matmul/v1", mres)
+	code, stdout, stderr := runDiff(t, "-min-matches=2", ebase+":"+ecur, mbase+":"+mcur)
+	if code != 0 {
+		t.Fatalf("two clean pairs: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "2 results joined") {
+		t.Errorf("expected 2 joined results across pairs:\n%s", stdout)
+	}
+}
+
+// Usage and input errors are exit 2, distinct from regressions.
+func TestErrorExits(t *testing.T) {
+	dir := t.TempDir()
+	good := writeReport(t, dir, "good.json", "doryp20/bench/v1", []res{engineRes(64, 17, 100)})
+	other := writeReport(t, dir, "other.json", "doryp20/bench-matmul/v1", []res{engineRes(64, 17, 100)})
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"schema":"s","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no pairs", nil},
+		{"malformed pair", []string{"solo.json"}},
+		{"missing file", []string{good + ":" + filepath.Join(dir, "nope.json")}},
+		{"empty results", []string{good + ":" + empty}},
+		{"schema mismatch", []string{good + ":" + other}},
+		{"min-matches unmet", []string{"-min-matches=5", good + ":" + good}},
+		{"negative tolerance", []string{"-tolerance=-1", good + ":" + good}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, stdout, _ := runDiff(t, tc.args...); code != 2 {
+				t.Errorf("exit %d, want 2\nstdout:\n%s", code, stdout)
+			}
+		})
+	}
+}
+
+// TestUnmatchedEntriesAreNotedNotFatal: a new configuration in the
+// current report (no baseline yet) warns but does not fail.
+func TestUnmatchedEntriesAreNotedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	base := writeReport(t, dir, "base.json", "doryp20/bench/v1", []res{engineRes(64, 17, 100)})
+	cur := writeReport(t, dir, "cur.json", "doryp20/bench/v1",
+		[]res{engineRes(64, 17, 100), engineRes(512, 17, 100)})
+	code, _, stderr := runDiff(t, base+":"+cur)
+	if code != 0 {
+		t.Fatalf("new config: exit %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no baseline entry") {
+		t.Errorf("stderr should note the unmatched configuration:\n%s", stderr)
+	}
+}
+
+// TestRealBaselinesSelfCompare runs the tool over the repo's committed
+// baselines compared against themselves — the committed artifacts must
+// always be valid gate inputs.
+func TestRealBaselinesSelfCompare(t *testing.T) {
+	for _, f := range []string{"BENCH_engine.json", "BENCH_matmul.json", "BENCH_hopset.json"} {
+		path := filepath.Join("..", "..", f)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("committed baseline missing: %v", err)
+		}
+		if code, stdout, stderr := runDiff(t, path+":"+path); code != 0 {
+			t.Errorf("%s self-compare: exit %d\nstdout:\n%s\nstderr:\n%s", f, code, stdout, stderr)
+		}
+	}
+}
