@@ -98,21 +98,23 @@ type kernelOpts struct {
 	// logical clique (see cmd/ccnode for true multi-process meshes).
 	transport string
 	ranks     int
+	// progress enables the live round/words/rate line on stderr,
+	// auto-disabled when stderr is not a terminal.
+	progress bool
 }
 
-// kernelReport is the -kernel-o JSON document.
+// kernelReport is the -kernel-o JSON document. Stats uses the
+// repository's one stable session-accounting encoding (see
+// clique.Stats.MarshalJSON), shared with ccnode reports and ccserve's
+// /stats responses.
 type kernelReport struct {
-	Kernel     string `json:"kernel"`
-	N          int    `json:"n"`
-	Transport  string `json:"transport,omitempty"`
-	Ranks      int    `json:"ranks,omitempty"`
-	Passes     int    `json:"passes"`
-	Rounds     int    `json:"rounds"`
-	Msgs       uint64 `json:"msgs"`
-	Bytes      uint64 `json:"bytes"`
-	WallNs     int64  `json:"wall_ns"`
-	Stopped    bool   `json:"stopped"`
-	Checkpoint string `json:"checkpoint,omitempty"`
+	Kernel     string       `json:"kernel"`
+	N          int          `json:"n"`
+	Transport  string       `json:"transport,omitempty"`
+	Ranks      int          `json:"ranks,omitempty"`
+	Stats      clique.Stats `json:"stats"`
+	Stopped    bool         `json:"stopped"`
+	Checkpoint string       `json:"checkpoint,omitempty"`
 }
 
 // runKernel executes one registered kernel on a deterministic weighted
@@ -134,6 +136,15 @@ func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int
 	sessOpts := []clique.Option{clique.WithDigests()}
 	if opt.ckptDir != "" {
 		sessOpts = append(sessOpts, clique.WithCheckpoint(opt.ckptDir, opt.ckptEvery))
+	}
+	var meter *progressMeter
+	if opt.progress {
+		if isTerminal(stderr) {
+			meter = newProgressMeter(stderr, 0)
+			sessOpts = append(sessOpts, clique.WithRoundHook(meter.hook))
+		} else {
+			fmt.Fprintln(stderr, "ccbench: -progress disabled (stderr is not a terminal)")
+		}
 	}
 	s, err := clique.New(g, sessOpts...)
 	if err != nil {
@@ -167,6 +178,9 @@ func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int
 	} else {
 		err = s.Run(ctx, k)
 	}
+	if meter != nil {
+		meter.finish()
+	}
 	stopped := errors.Is(err, clique.ErrStopped)
 	if err != nil && !stopped {
 		fmt.Fprintln(stderr, "ccbench:", err)
@@ -179,11 +193,7 @@ func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int
 	fmt.Fprintf(stdout, "%-16s %-8d %-8d %-8d %-10d %-12d %-12s\n",
 		name, n, st.Runs, st.Engine.Rounds, st.Engine.TotalMsgs,
 		st.Engine.TotalBytes, st.Engine.Wall)
-	rep := kernelReport{
-		Kernel: name, N: n, Passes: st.Runs, Rounds: st.Engine.Rounds,
-		Msgs: st.Engine.TotalMsgs, Bytes: st.Engine.TotalBytes,
-		WallNs: int64(st.Engine.Wall), Stopped: stopped,
-	}
+	rep := kernelReport{Kernel: name, N: n, Stats: st, Stopped: stopped}
 	if stopped {
 		if _, ok := k.(clique.Checkpointable); ok && opt.ckptDir != "" {
 			rep.Checkpoint = clique.CheckpointPath(opt.ckptDir, name)
@@ -213,6 +223,9 @@ func runKernelCluster(name string, n int, opt kernelOpts, stdout, stderr io.Writ
 	if !clique.Registered(name) {
 		fmt.Fprintf(stderr, "ccbench: unknown kernel %q\n", name)
 		return 2
+	}
+	if opt.progress {
+		fmt.Fprintln(stderr, "ccbench: -progress disabled (loopback cluster ranks would interleave)")
 	}
 	trs, err := engine.NewTransportCluster(opt.transport, opt.ranks)
 	if err != nil {
@@ -273,9 +286,7 @@ func runKernelCluster(name string, n int, opt kernelOpts, stdout, stderr io.Writ
 	if opt.out != "" {
 		rep := kernelReport{
 			Kernel: name, N: n, Transport: opt.transport, Ranks: opt.ranks,
-			Passes: st.Runs, Rounds: st.Engine.Rounds,
-			Msgs: st.Engine.TotalMsgs, Bytes: st.Engine.TotalBytes,
-			WallNs: int64(st.Engine.Wall),
+			Stats: st,
 		}
 		if err := bench.WriteJSON(opt.out, rep); err != nil {
 			fmt.Fprintln(stderr, "ccbench:", err)
@@ -311,6 +322,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.String("resume", "", "resume the -kernel run from this checkpoint file")
 	transport := fs.String("transport", "mem", "transport for the -kernel run: mem, socket-tcp, or socket-unix (loopback cluster)")
 	ranks := fs.Int("ranks", 2, "rank count for a non-mem -transport")
+	progress := fs.Bool("progress", false, "live rounds/words/rate line on stderr during -kernel runs (TTY only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / -help is a successful help request
@@ -355,12 +367,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opt := kernelOpts{
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 			resume: *resume, out: *kernelOut, signals: true,
-			transport: *transport, ranks: *ranks,
+			transport: *transport, ranks: *ranks, progress: *progress,
 		}
 		return runKernel(*kernel, *kernelN, opt, stdout, stderr)
 	}
-	if *ckptDir != "" || *resume != "" || *kernelOut != "" {
-		fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume/-kernel-o require -kernel")
+	if *ckptDir != "" || *resume != "" || *kernelOut != "" || *progress {
+		fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume/-kernel-o/-progress require -kernel")
 		return 2
 	}
 	if *transport != "mem" {

@@ -264,7 +264,7 @@ func TestKernelCheckpointAndResume(t *testing.T) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		t.Fatalf("report does not parse: %v", err)
 	}
-	if r.Kernel != "apsp" || r.N != 16 || r.Stopped || r.Passes < 2 {
+	if r.Kernel != "apsp" || r.N != 16 || r.Stopped || r.Stats.Runs < 2 {
 		t.Fatalf("implausible report: %+v", r)
 	}
 
@@ -365,7 +365,7 @@ func TestKernelTransportCluster(t *testing.T) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		t.Fatalf("report does not parse: %v", err)
 	}
-	if r.Transport != "socket-unix" || r.Ranks != 2 || r.Rounds == 0 {
+	if r.Transport != "socket-unix" || r.Ranks != 2 || r.Stats.Engine.Rounds == 0 {
 		t.Fatalf("report misdescribes the cluster run: %+v", r)
 	}
 

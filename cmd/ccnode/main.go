@@ -61,13 +61,12 @@ type report struct {
 	Ranks     int     `json:"ranks"`
 	Transport string  `json:"transport"`
 	// Lo and Hi are this rank's node shard [lo, hi).
-	Lo     int    `json:"lo"`
-	Hi     int    `json:"hi"`
-	Passes int    `json:"passes"`
-	Rounds int    `json:"rounds"`
-	Msgs   uint64 `json:"msgs"`
-	Bytes  uint64 `json:"bytes"`
-	WallNs int64  `json:"wall_ns"`
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Stats is the session's cumulative accounting in the repository's
+	// one stable encoding (see clique.Stats.MarshalJSON); wall time is
+	// per-rank, everything else must agree across ranks.
+	Stats clique.Stats `json:"stats"`
 	// Digests is the replay digest chain, one 16-hex-digit string per
 	// round.
 	Digests []string `json:"digests"`
@@ -167,7 +166,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "rank %d/%d nodes [%d, %d): %s on n=%d done in %d passes, %d rounds, %d msgs\n",
-		rep.Rank, rep.Ranks, rep.Lo, rep.Hi, rep.Kernel, rep.N, rep.Passes, rep.Rounds, rep.Msgs)
+		rep.Rank, rep.Ranks, rep.Lo, rep.Hi, rep.Kernel, rep.N,
+		rep.Stats.Runs, rep.Stats.Engine.Rounds, rep.Stats.Engine.TotalMsgs)
 	if *out != "" {
 		if err := bench.WriteJSON(*out, rep); err != nil {
 			fmt.Fprintln(stderr, "ccnode:", err)
@@ -193,9 +193,7 @@ func buildReport(s *clique.Session, k clique.Kernel, kernel string, n int, p flo
 		Kernel: kernel, N: n, P: p, Seed: seed,
 		Rank: rank, Ranks: ranks, Transport: transportName,
 		Lo: lo, Hi: hi,
-		Passes: st.Runs, Rounds: st.Engine.Rounds,
-		Msgs: st.Engine.TotalMsgs, Bytes: st.Engine.TotalBytes,
-		WallNs: st.Engine.Wall.Nanoseconds(),
+		Stats: st,
 	}
 	for _, d := range s.Digests() {
 		rep.Digests = append(rep.Digests, fmt.Sprintf("%016x", d))

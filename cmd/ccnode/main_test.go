@@ -85,9 +85,9 @@ func TestMultiProcessEquivalence(t *testing.T) {
 			t.Errorf("rank %d claims shard [%d, %d)", rank, rep.Lo, rep.Hi)
 		}
 		for name, pair := range map[string][2]any{
-			"passes":     {rep.Passes, ref.Passes},
-			"rounds":     {rep.Rounds, ref.Rounds},
-			"msgs":       {rep.Msgs, ref.Msgs},
+			"passes":     {rep.Stats.Runs, ref.Stats.Runs},
+			"rounds":     {rep.Stats.Engine.Rounds, ref.Stats.Engine.Rounds},
+			"msgs":       {rep.Stats.Engine.TotalMsgs, ref.Stats.Engine.TotalMsgs},
 			"digests":    {rep.Digests, ref.Digests},
 			"result_fnv": {rep.ResultFNV, ref.ResultFNV},
 			"dist":       {rep.Dist, ref.Dist},

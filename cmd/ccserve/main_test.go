@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/pkg/client"
+)
+
+// lineWaiter is an io.Writer that signals when a full line arrives, so
+// the test can wait for the daemon's readiness line and parse the
+// bound address out of it.
+type lineWaiter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	lines chan string
+}
+
+func newLineWaiter() *lineWaiter { return &lineWaiter{lines: make(chan string, 16)} }
+
+func (w *lineWaiter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, _ := w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: put it back and wait for more bytes.
+			w.buf.WriteString(line)
+			break
+		}
+		w.lines <- strings.TrimSuffix(line, "\n")
+	}
+	return n, nil
+}
+
+func (w *lineWaiter) wait(t *testing.T, prefix string) string {
+	t.Helper()
+	for {
+		select {
+		case line := <-w.lines:
+			if strings.HasPrefix(line, prefix) {
+				return line
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %q line", prefix)
+		}
+	}
+}
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, runs a
+// query round-trip through pkg/client, then cancels the context (the
+// SIGTERM path) and checks run drains and returns nil — the exit-0
+// contract.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	out := newLineWaiter()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-coalesce-wait", "1ms"}, out)
+	}()
+
+	line := out.wait(t, "ccserve listening on ")
+	addr := strings.TrimPrefix(line, "ccserve listening on ")
+	c := client.New("http://" + addr)
+
+	g := graph.RandomGNPWeighted(16, 0.3, 9, 2)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.LoadGraph(ctx, "boot", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.SSSP(ctx, info.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := algo.BellmanFordRef(g, core.NodeID(0))
+	for v, d := range resp.Dist {
+		if d != want[v] {
+			t.Fatalf("vertex %d: daemon %d, oracle %d", v, d, want[v])
+		}
+	}
+
+	cancel()
+	out.wait(t, "ccserve draining")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after drain, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after context cancellation")
+	}
+}
+
+// TestRunBadFlags checks flag errors surface instead of serving.
+func TestRunBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-addr"}, io.Discard)
+	if err == nil {
+		t.Fatal("run accepted a flag missing its value")
+	}
+}

@@ -1,0 +1,121 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+func TestLoadEdgeListUnweighted(t *testing.T) {
+	in := `
+# a comment
+c another comment
+p 5 3
+0 1
+1 2
+	3   4
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if g.N != 5 || g.NumEdges() != 3 || g.Weighted() {
+		t.Fatalf("got N=%d edges=%d weighted=%v, want 5/3/false", g.N, g.NumEdges(), g.Weighted())
+	}
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v, want [0 2]", got)
+	}
+}
+
+func TestLoadEdgeListWeighted(t *testing.T) {
+	in := "0 1 7\n1 2 0\n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.N != 3 || !g.Weighted() {
+		t.Fatalf("got N=%d weighted=%v, want 3/true", g.N, g.Weighted())
+	}
+	// Both arc directions carry the symmetric weight.
+	for _, pair := range [][3]int64{{0, 1, 7}, {1, 0, 7}, {1, 2, 0}, {2, 1, 0}} {
+		cols, vals := g.Row(core.NodeID(pair[0]))
+		found := false
+		for i, c := range cols {
+			if int64(c) == pair[1] {
+				found = true
+				if vals[i] != pair[2] {
+					t.Fatalf("weight(%d,%d) = %d, want %d", pair[0], pair[1], vals[i], pair[2])
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("arc (%d,%d) missing", pair[0], pair[1])
+		}
+	}
+}
+
+func TestLoadEdgeListHeaderOnlyEmptyGraph(t *testing.T) {
+	g, err := LoadEdgeList(strings.NewReader("p 4\n"))
+	if err != nil {
+		t.Fatalf("LoadEdgeList: %v", err)
+	}
+	if g.N != 4 || g.NumEdges() != 0 {
+		t.Fatalf("got N=%d edges=%d, want 4/0", g.N, g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "empty input"},
+		{"comment-only", "# nothing\n", "empty input"},
+		{"self-loop", "2 2\n", "self-loop"},
+		{"duplicate", "0 1\n1 0\n", "duplicate edge"},
+		{"mixed", "0 1\n1 2 5\n", "mixed weighted"},
+		{"negative-weight", "0 1 -3\n", "negative weight"},
+		{"bad-vertex", "0 x\n", "invalid vertex"},
+		{"bad-weight", "0 1 1.5\n", "invalid weight"},
+		{"too-many-fields", "0 1 2 3\n", "fields"},
+		{"out-of-range", "p 2\n0 5\n", "out of range"},
+		{"dup-header", "p 2\np 3\n", "duplicate header"},
+		{"late-header", "0 1\np 5\n", "header after edges"},
+		{"bad-header", "p two\n", "invalid vertex count"},
+		{"edge-count-mismatch", "p 3 2\n0 1\n", "declares 2 edges"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadEdgeList(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, g := range []*CSR{
+		RandomGNPWeighted(40, 0.2, 16, 7),
+		RandomGNP(33, 0.1, 3),
+		Path(1),
+		Grid(4, 5),
+	} {
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("WriteEdgeList: %v", err)
+		}
+		got, err := LoadEdgeList(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("LoadEdgeList(round trip): %v", err)
+		}
+		if !reflect.DeepEqual(got, g) {
+			t.Fatalf("round trip diverged for N=%d graph", g.N)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+)
+
+// fakeBatcher is a batchFunc test double: it answers source s with the
+// row [s*10] and records every batch it was asked to run.
+type fakeBatcher struct {
+	mu      sync.Mutex
+	batches [][]core.NodeID
+	delay   time.Duration
+	err     error
+}
+
+func (f *fakeBatcher) run(sources []core.NodeID) (*batchResult, error) {
+	f.mu.Lock()
+	cp := make([]core.NodeID, len(sources))
+	copy(cp, sources)
+	f.batches = append(f.batches, cp)
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	if f.err != nil {
+		return nil, f.err
+	}
+	rows := make([][]int64, len(sources))
+	for i, s := range sources {
+		rows[i] = []int64{int64(s) * 10}
+	}
+	return &batchResult{rows: rows, beta: 7, passes: 1, rounds: 3}, nil
+}
+
+// TestCoalescerBatchesWithinWindow is the batching property at the
+// unit level: k concurrent queries admitted inside one generous window
+// ride at most ceil(k/maxBatch) kernel runs, and every query receives
+// exactly its own row.
+func TestCoalescerBatchesWithinWindow(t *testing.T) {
+	const k, maxBatch = 20, 4
+	fb := &fakeBatcher{}
+	c := newCoalescer(maxBatch, 100*time.Millisecond, fb.run)
+
+	var wg sync.WaitGroup
+	outs := make([]queryOutcome, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = c.do(context.Background(), core.NodeID(i))
+		}(i)
+	}
+	wg.Wait()
+
+	runs, queries := c.counts()
+	if queries != k {
+		t.Fatalf("queries = %d, want %d", queries, k)
+	}
+	wantMax := uint64((k + maxBatch - 1) / maxBatch)
+	if runs > wantMax {
+		t.Errorf("runs = %d, want <= ceil(%d/%d) = %d", runs, k, maxBatch, wantMax)
+	}
+	for i, out := range outs {
+		if out.err != nil {
+			t.Fatalf("query %d: %v", i, out.err)
+		}
+		if len(out.dist) != 1 || out.dist[0] != int64(i)*10 {
+			t.Errorf("query %d: dist = %v, want [%d]", i, out.dist, i*10)
+		}
+		if out.batch < 1 || out.batch > maxBatch {
+			t.Errorf("query %d: batch size %d outside [1,%d]", i, out.batch, maxBatch)
+		}
+		if out.beta != 7 || out.passes != 1 || out.rounds != 3 {
+			t.Errorf("query %d: telemetry (%d,%d,%d), want (7,1,3)", i, out.beta, out.passes, out.rounds)
+		}
+	}
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	var total int
+	for _, b := range fb.batches {
+		if len(b) > maxBatch {
+			t.Errorf("batch of %d exceeds maxBatch %d", len(b), maxBatch)
+		}
+		total += len(b)
+	}
+	if total != k {
+		t.Errorf("batched sources total %d, want %d", total, k)
+	}
+}
+
+// TestCoalescerSequentialQueries checks the zero-window single-query
+// path: each query gets its own run and batch size 1.
+func TestCoalescerSequentialQueries(t *testing.T) {
+	fb := &fakeBatcher{}
+	c := newCoalescer(8, 0, fb.run)
+	for i := 0; i < 3; i++ {
+		out := c.do(context.Background(), core.NodeID(i))
+		if out.err != nil {
+			t.Fatalf("query %d: %v", i, out.err)
+		}
+		if out.dist[0] != int64(i)*10 {
+			t.Errorf("query %d: dist %v", i, out.dist)
+		}
+	}
+	runs, queries := c.counts()
+	if queries != 3 || runs != 3 {
+		t.Errorf("(runs, queries) = (%d, %d), want (3, 3)", runs, queries)
+	}
+}
+
+// TestCoalescerErrorFansOut checks a failed batch delivers its error
+// to every rider.
+func TestCoalescerErrorFansOut(t *testing.T) {
+	fb := &fakeBatcher{err: context.DeadlineExceeded}
+	c := newCoalescer(8, 20*time.Millisecond, fb.run)
+	var wg sync.WaitGroup
+	outs := make([]queryOutcome, 4)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = c.do(context.Background(), core.NodeID(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if out.err == nil {
+			t.Errorf("query %d: err = nil, want batch error", i)
+		}
+	}
+}
+
+// TestCoalescerContextCancel checks an abandoned query returns its
+// context error without wedging the leader.
+func TestCoalescerContextCancel(t *testing.T) {
+	fb := &fakeBatcher{delay: 50 * time.Millisecond}
+	c := newCoalescer(8, 0, fb.run)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out := c.do(ctx, 0)
+	if out.err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", out.err)
+	}
+	// The leader still completes; a fresh query afterwards works.
+	out = c.do(context.Background(), 2)
+	if out.err != nil || out.dist[0] != 20 {
+		t.Fatalf("post-cancel query: %+v", out)
+	}
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+)
+
+// Metrics is the daemon's observability surface: a fixed set of
+// counters and gauges updated lock-free on the serving paths and
+// rendered in Prometheus text exposition format by WritePrometheus
+// (the GET /metrics handler). Engine traffic streams in through
+// ObserveRound, the clique.WithRoundHook tap every pooled session is
+// created with, so rounds/messages/words accumulate live while a
+// kernel runs — the observability half of ROADMAP item 5.
+type Metrics struct {
+	// Engine traffic, streamed per round from every pooled session.
+	rounds atomic.Uint64
+	msgs   atomic.Uint64
+	bytes  atomic.Uint64
+
+	// Query admission, by kind.
+	ssspQueries    atomic.Uint64
+	ksourceQueries atomic.Uint64
+	approxQueries  atomic.Uint64
+	queryErrors    atomic.Uint64
+
+	// Kernel executions: every session run the daemon performs. Under
+	// coalescing, kernelRuns grows slower than approxQueries.
+	kernelRuns atomic.Uint64
+
+	// Coalescer outcomes.
+	batches        atomic.Uint64
+	batchedQueries atomic.Uint64
+	batchMax       atomic.Uint64
+
+	// Hopset-augmented adjacency cache outcomes.
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	// Gauges.
+	sessionsActive atomic.Int64
+	graphsLoaded   atomic.Int64
+	inflight       atomic.Int64
+}
+
+// ObserveRound folds one engine round's stats into the traffic
+// counters; it is installed as the RoundHook of every pooled session.
+func (m *Metrics) ObserveRound(rs engine.RoundStats) {
+	m.rounds.Add(1)
+	m.msgs.Add(rs.Msgs)
+	m.bytes.Add(rs.Bytes)
+}
+
+// observeBatch records one coalesced kernel run of size k.
+func (m *Metrics) observeBatch(k int, cacheHit bool) {
+	m.batches.Add(1)
+	m.batchedQueries.Add(uint64(k))
+	for {
+		cur := m.batchMax.Load()
+		if uint64(k) <= cur || m.batchMax.CompareAndSwap(cur, uint64(k)) {
+			break
+		}
+	}
+	if cacheHit {
+		m.cacheHits.Add(1)
+	} else {
+		m.cacheMisses.Add(1)
+	}
+}
+
+// Snapshot is a point-in-time copy of every counter, for tests and
+// the /stats handler.
+type Snapshot struct {
+	Rounds, Msgs, Bytes                        uint64
+	SSSPQueries, KSourceQueries, ApproxQueries uint64
+	QueryErrors, KernelRuns                    uint64
+	Batches, BatchedQueries, BatchMax          uint64
+	CacheHits, CacheMisses                     uint64
+	SessionsActive, GraphsLoaded, Inflight     int64
+}
+
+// Snapshot returns a consistent-enough copy of the counters (each
+// counter is read atomically; the set is not a transaction).
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Rounds: m.rounds.Load(), Msgs: m.msgs.Load(), Bytes: m.bytes.Load(),
+		SSSPQueries: m.ssspQueries.Load(), KSourceQueries: m.ksourceQueries.Load(),
+		ApproxQueries: m.approxQueries.Load(), QueryErrors: m.queryErrors.Load(),
+		KernelRuns: m.kernelRuns.Load(),
+		Batches:    m.batches.Load(), BatchedQueries: m.batchedQueries.Load(),
+		BatchMax:  m.batchMax.Load(),
+		CacheHits: m.cacheHits.Load(), CacheMisses: m.cacheMisses.Load(),
+		SessionsActive: m.sessionsActive.Load(), GraphsLoaded: m.graphsLoaded.Load(),
+		Inflight: m.inflight.Load(),
+	}
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format, in a fixed order so scrapes are diffable.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	s := m.Snapshot()
+	type metric struct {
+		name, help, typ string
+		value           any
+	}
+	words := s.Msgs // one budgeted word per routed message
+	for _, mt := range []metric{
+		{"ccserve_engine_rounds_total", "Engine rounds executed across all pooled sessions.", "counter", s.Rounds},
+		{"ccserve_engine_messages_total", "Messages routed across all pooled sessions.", "counter", s.Msgs},
+		{"ccserve_engine_words_total", "Budgeted payload words routed (one per message).", "counter", words},
+		{"ccserve_engine_bytes_total", "Payload bytes routed across all pooled sessions.", "counter", s.Bytes},
+		{"ccserve_queries_total{kind=\"sssp\"}", "Admitted queries by kind.", "counter", s.SSSPQueries},
+		{"ccserve_queries_total{kind=\"ksource\"}", "", "", s.KSourceQueries},
+		{"ccserve_queries_total{kind=\"approx-sssp\"}", "", "", s.ApproxQueries},
+		{"ccserve_query_errors_total", "Queries that failed after admission.", "counter", s.QueryErrors},
+		{"ccserve_kernel_runs_total", "Kernel executions on pooled sessions (coalescing makes this trail approx-sssp queries).", "counter", s.KernelRuns},
+		{"ccserve_coalesced_batches_total", "Batched approx-sssp kernel runs.", "counter", s.Batches},
+		{"ccserve_coalesced_queries_total", "Approx-sssp queries served through batches.", "counter", s.BatchedQueries},
+		{"ccserve_coalesced_batch_max", "Largest batch size observed.", "gauge", s.BatchMax},
+		{"ccserve_hopset_cache_hits_total", "Approx batches served from the hopset-augmented adjacency cache (zero stage-1 rounds).", "counter", s.CacheHits},
+		{"ccserve_hopset_cache_misses_total", "Approx batches that had to construct a hopset.", "counter", s.CacheMisses},
+		{"ccserve_sessions_active", "Warm clique sessions in the pool.", "gauge", s.SessionsActive},
+		{"ccserve_graphs_loaded", "Graphs currently loaded.", "gauge", s.GraphsLoaded},
+		{"ccserve_queries_inflight", "Queries currently being served.", "gauge", s.Inflight},
+	} {
+		if mt.help != "" {
+			name := mt.name
+			if i := strings.IndexByte(name, '{'); i >= 0 {
+				name = name[:i]
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, mt.help, name, mt.typ); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", mt.name, mt.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

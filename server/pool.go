@@ -1,0 +1,139 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// ErrGraphGone is returned by acquire when the graph version was
+// dropped (graph deleted or daemon shutting down) while the caller
+// waited for its turn on the session.
+var ErrGraphGone = errors.New("server: graph version no longer served")
+
+// sessionPool keeps one warm clique.Session per loaded graph version
+// and serializes access to it. Sessions are not safe for concurrent
+// use, so every query path goes acquire -> run kernels -> release; the
+// per-version mutex is the admission gate, and the engine's workers,
+// router slabs, and cumulative stats stay warm between queries — the
+// amortization that turns the batch pipeline into a serving layer.
+type sessionPool struct {
+	metrics *Metrics
+	workers int
+
+	mu      sync.Mutex
+	entries map[uint64]*poolEntry
+}
+
+// poolEntry is one graph version's warm session. mu serializes session
+// use; statsMu guards the release-time stats snapshot that lets
+// /stats read accounting without queueing behind a running kernel.
+type poolEntry struct {
+	mu     sync.Mutex
+	sess   *clique.Session
+	closed bool
+
+	statsMu sync.Mutex
+	stats   clique.Stats
+}
+
+func newSessionPool(metrics *Metrics, workers int) *sessionPool {
+	return &sessionPool{metrics: metrics, workers: workers, entries: map[uint64]*poolEntry{}}
+}
+
+// acquire returns an exclusive lease on version's warm session,
+// creating the session (engine workers and all) on first use. It
+// blocks while another query holds the lease; if the version is
+// dropped while waiting, it fails with ErrGraphGone.
+func (p *sessionPool) acquire(version uint64, g *graph.CSR) (*lease, error) {
+	p.mu.Lock()
+	e, ok := p.entries[version]
+	if !ok {
+		sess, err := clique.New(g,
+			clique.WithWorkers(p.workers),
+			clique.WithRoundHook(p.metrics.ObserveRound))
+		if err != nil {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("server: building session for graph version %d: %w", version, err)
+		}
+		e = &poolEntry{sess: sess}
+		p.entries[version] = e
+		p.metrics.sessionsActive.Add(1)
+	}
+	p.mu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrGraphGone
+	}
+	return &lease{e: e}, nil
+}
+
+// drop removes version from the pool and closes its session, after
+// the current leaseholder (if any) releases. Safe to call for
+// versions that never built a session.
+func (p *sessionPool) drop(version uint64) {
+	p.mu.Lock()
+	e, ok := p.entries[version]
+	delete(p.entries, version)
+	p.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	e.closed = true
+	e.sess.Close()
+	e.mu.Unlock()
+	p.metrics.sessionsActive.Add(-1)
+}
+
+// closeAll drops every pooled session; used at daemon shutdown after
+// the HTTP layer has drained.
+func (p *sessionPool) closeAll() {
+	p.mu.Lock()
+	versions := make([]uint64, 0, len(p.entries))
+	for v := range p.entries {
+		versions = append(versions, v)
+	}
+	p.mu.Unlock()
+	for _, v := range versions {
+		p.drop(v)
+	}
+}
+
+// stats returns the last released-state accounting snapshot for
+// version, and whether the version has a pooled session at all.
+func (p *sessionPool) stats(version uint64) (clique.Stats, bool) {
+	p.mu.Lock()
+	e, ok := p.entries[version]
+	p.mu.Unlock()
+	if !ok {
+		return clique.Stats{}, false
+	}
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	return e.stats, true
+}
+
+// lease is an exclusive grant on one warm session. Callers must
+// release exactly once.
+type lease struct {
+	e *poolEntry
+}
+
+// session returns the leased warm session.
+func (l *lease) session() *clique.Session { return l.e.sess }
+
+// release snapshots the session's cumulative stats for lock-free
+// /stats reads and returns the session to the pool.
+func (l *lease) release() {
+	st := l.e.sess.Stats()
+	l.e.statsMu.Lock()
+	l.e.stats = st
+	l.e.statsMu.Unlock()
+	l.e.mu.Unlock()
+}

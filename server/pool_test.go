@@ -1,0 +1,155 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// TestPoolWarmReuse checks the pool hands back the same warm session
+// across leases and that cumulative stats grow run over run.
+func TestPoolWarmReuse(t *testing.T) {
+	m := &Metrics{}
+	p := newSessionPool(m, 0)
+	defer p.closeAll()
+	g := graph.Path(8)
+
+	l1, err := p.acquire(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := l1.session()
+	if err := s1.Run(context.Background(), algo.NewBellmanFordKernel(0)); err != nil {
+		t.Fatal(err)
+	}
+	l1.release()
+
+	l2, err := p.acquire(1, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.session() != s1 {
+		t.Error("second acquire built a new session; want warm reuse")
+	}
+	if err := l2.session().Run(context.Background(), algo.NewBellmanFordKernel(7)); err != nil {
+		t.Fatal(err)
+	}
+	l2.release()
+
+	st, ok := p.stats(1)
+	if !ok {
+		t.Fatal("stats: version 1 not pooled")
+	}
+	if st.Kernels != 2 {
+		t.Errorf("cumulative kernels = %d, want 2 (warm session accumulates)", st.Kernels)
+	}
+	if m.Snapshot().Rounds == 0 {
+		t.Error("round hook never fired: pool sessions must stream into Metrics")
+	}
+	if got := m.Snapshot().SessionsActive; got != 1 {
+		t.Errorf("sessionsActive = %d, want 1", got)
+	}
+}
+
+// TestPoolSerializes checks concurrent leaseholders exclude each
+// other: with N goroutines hammering one version, every kernel run
+// happens under the lease, so the session's not-concurrency-safe
+// invariant holds and all runs land in the cumulative stats.
+func TestPoolSerializes(t *testing.T) {
+	m := &Metrics{}
+	p := newSessionPool(m, 0)
+	defer p.closeAll()
+	g := graph.Path(6)
+
+	const n = 8
+	var wg sync.WaitGroup
+	var inLease sync.Mutex // would deadlock-detect double entry via TryLock
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := p.acquire(1, g)
+			if err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			defer l.release()
+			if !inLease.TryLock() {
+				t.Error("two goroutines held the lease at once")
+				return
+			}
+			defer inLease.Unlock()
+			if err := l.session().Run(context.Background(), algo.NewBellmanFordKernel(0)); err != nil {
+				t.Errorf("run: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	st, _ := p.stats(1)
+	if st.Kernels != n {
+		t.Errorf("kernels = %d, want %d", st.Kernels, n)
+	}
+}
+
+// TestPoolDrop checks drop closes the session and later acquires fail
+// with ErrGraphGone for waiters caught mid-drop (fresh acquires of a
+// dropped version would rebuild, which the store prevents by removing
+// the entry first — here we assert the closed-entry path).
+func TestPoolDrop(t *testing.T) {
+	m := &Metrics{}
+	p := newSessionPool(m, 0)
+	g := graph.Path(4)
+
+	l, err := p.acquire(3, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		p.drop(3) // blocks until the lease releases
+		close(done)
+	}()
+	l.release()
+	<-done
+
+	if got := m.Snapshot().SessionsActive; got != 0 {
+		t.Errorf("sessionsActive after drop = %d, want 0", got)
+	}
+	// Dropping an unknown version is a no-op.
+	p.drop(99)
+}
+
+// TestPoolAcquireAfterClose checks a waiter that outlives the drop
+// gets ErrGraphGone rather than a closed session.
+func TestPoolAcquireAfterClose(t *testing.T) {
+	p := newSessionPool(&Metrics{}, 0)
+	defer p.closeAll()
+	g := graph.Path(4)
+	l, err := p.acquire(5, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan error, 1)
+	go func() {
+		// Races drop for the entry mutex; either it loses and sees
+		// closed, or wins and releases before drop proceeds.
+		l2, err := p.acquire(5, g)
+		if err == nil {
+			l2.release()
+		}
+		got <- err
+	}()
+	go func() {
+		l.release()
+	}()
+	p.drop(5)
+	if err := <-got; err != nil && !errors.Is(err, ErrGraphGone) {
+		t.Fatalf("late acquire error = %v, want ErrGraphGone or success", err)
+	}
+}

@@ -1,0 +1,431 @@
+// Package server is ccserve's HTTP serving layer over the clique
+// session API — the subsystem that turns the Dory-Parter batch
+// pipeline into a long-running query daemon (ROADMAP item 2). It
+// layers, podman-style, a thin handler surface over three serving
+// components:
+//
+//   - a session pool keyed by graph version (pool.go): one warm
+//     clique.Session per loaded graph, serialized by a per-version
+//     lease because Sessions are not concurrency-safe, with engine
+//     workers and router slabs amortized across queries;
+//   - an admission coalescer per (graph, ε) (coalesce.go): concurrent
+//     single-source approximate queries ride one batched
+//     ApproxKSourceKernel run — k sources for the price of one
+//     pipeline;
+//   - a hopset-augmented adjacency cache per (graph, ε) (store.go):
+//     after the first approximate query constructs the hopset, every
+//     later query runs a RelaxKernel over the cached augmented matrix
+//     and pays zero stage-1 rounds, bit-identical to the full
+//     pipeline.
+//
+// Observability streams through clique.WithRoundHook into a
+// Prometheus-text /metrics endpoint (metrics.go), and /stats exposes
+// per-graph session accounting in the repository's stable
+// clique.Stats encoding. The wire types live in pkg/api; pkg/client
+// is the Go client.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/hopset"
+	"github.com/paper-repo-growth/doryp20/pkg/api"
+)
+
+// DefaultEps is the approximation slack used when an approx-sssp
+// request leaves Eps zero.
+const DefaultEps = 0.25
+
+// Options configures a Server. The zero value serves with 16-query
+// batches, a 2ms admission window, GOMAXPROCS session workers, and a
+// 64 MiB upload cap.
+type Options struct {
+	// MaxBatch bounds how many coalesced single-source queries one
+	// batched kernel run carries. <= 0 selects 16.
+	MaxBatch int
+	// CoalesceWait is the admission window a batch leader holds open
+	// before launching: 0 favors single-query latency, a few
+	// milliseconds favors batching under concurrent load. < 0 selects
+	// the 2ms default; 0 is honored.
+	CoalesceWait time.Duration
+	// Workers is the per-session engine worker count; 0 selects the
+	// GOMAXPROCS default.
+	Workers int
+	// MaxUploadBytes caps POST /graphs bodies. <= 0 selects 64 MiB.
+	MaxUploadBytes int64
+}
+
+// Server is the ccserve daemon core: an http.Handler serving the
+// graph-management and query endpoints over the session pool. Create
+// with New, serve with net/http, and Close after the HTTP layer has
+// drained to release the pooled engine workers.
+type Server struct {
+	opts    Options
+	metrics *Metrics
+	store   *store
+	pool    *sessionPool
+	mux     *http.ServeMux
+}
+
+// New builds a Server with its own metrics, store, and session pool.
+func New(opts Options) *Server {
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 16
+	}
+	if opts.CoalesceWait < 0 {
+		opts.CoalesceWait = 2 * time.Millisecond
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 64 << 20
+	}
+	s := &Server{
+		opts:    opts,
+		metrics: &Metrics{},
+		store:   newStore(),
+	}
+	s.pool = newSessionPool(s.metrics, opts.Workers)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("POST /graphs", s.handleLoadGraph)
+	s.mux.HandleFunc("GET /graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /graphs/{id}", s.handleGetGraph)
+	s.mux.HandleFunc("DELETE /graphs/{id}", s.handleDeleteGraph)
+	s.mux.HandleFunc("POST /graphs/{id}/sssp", s.handleSSSP)
+	s.mux.HandleFunc("POST /graphs/{id}/ksource", s.handleKSource)
+	s.mux.HandleFunc("POST /graphs/{id}/approx-sssp", s.handleApproxSSSP)
+	return s
+}
+
+// ServeHTTP dispatches to the registered handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the server's metrics registry (shared with every
+// pooled session's RoundHook).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close releases every pooled session. Call it only after the HTTP
+// layer has drained in-flight requests (http.Server.Shutdown): a query
+// that still holds a lease is waited out, but new queries fail.
+func (s *Server) Close() {
+	s.pool.closeAll()
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeErr writes an api.Error body.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, api.Error{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.metrics.Snapshot()
+	resp := api.StatsResponse{
+		Graphs: []api.GraphStats{},
+		Queries: map[string]uint64{
+			"sssp":        snap.SSSPQueries,
+			"ksource":     snap.KSourceQueries,
+			"approx-sssp": snap.ApproxQueries,
+		},
+		KernelRuns: snap.KernelRuns,
+	}
+	for _, e := range s.store.list() {
+		gs := api.GraphStats{GraphInfo: e.info}
+		if st, ok := s.pool.stats(e.info.Version); ok {
+			gs.Stats = st
+		}
+		resp.Graphs = append(resp.Graphs, gs)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+	g, err := graph.LoadEdgeList(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if g.N == 0 {
+		writeErr(w, http.StatusBadRequest, "server: refusing a zero-vertex graph")
+		return
+	}
+	e, err := s.store.add(r.URL.Query().Get("name"), g)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errDuplicateID) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, "%v", err)
+		return
+	}
+	s.metrics.graphsLoaded.Add(1)
+	writeJSON(w, http.StatusCreated, e.info)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	resp := api.GraphList{Graphs: []api.GraphInfo{}}
+	for _, e := range s.store.list() {
+		resp.Graphs = append(resp.Graphs, e.info)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	e := s.store.get(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "server: unknown graph %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	e := s.store.remove(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "server: unknown graph %q", r.PathValue("id"))
+		return
+	}
+	// Waits out the current leaseholder, then closes the warm session.
+	s.pool.drop(e.info.Version)
+	s.metrics.graphsLoaded.Add(-1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// decodeBody decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "server: decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// checkSources validates 0-based sources against the graph size.
+func checkSources(e *graphEntry, sources []int64) error {
+	if len(sources) == 0 {
+		return errors.New("server: no sources given")
+	}
+	for _, src := range sources {
+		if src < 0 || int(src) >= e.info.N {
+			return fmt.Errorf("server: source %d out of range [0,%d)", src, e.info.N)
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	e := s.store.get(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "server: unknown graph %q", r.PathValue("id"))
+		return
+	}
+	var req api.SSSPRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := checkSources(e, []int64{req.Source}); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.ssspQueries.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	k := algo.NewBellmanFordKernel(core.NodeID(req.Source))
+	if err := s.runExact(e, k); err != nil {
+		s.queryFailed(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.SSSPResponse{Source: req.Source, Dist: k.Dist()})
+}
+
+func (s *Server) handleKSource(w http.ResponseWriter, r *http.Request) {
+	e := s.store.get(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "server: unknown graph %q", r.PathValue("id"))
+		return
+	}
+	var req api.KSourceRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := checkSources(e, req.Sources); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h := req.H
+	if h == 0 {
+		h = hopset.DefaultBeta(e.info.N)
+	}
+	if h < 1 {
+		writeErr(w, http.StatusBadRequest, "server: hop horizon %d must be >= 1", h)
+		return
+	}
+	s.metrics.ksourceQueries.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	sources := make([]core.NodeID, len(req.Sources))
+	for i, src := range req.Sources {
+		sources[i] = core.NodeID(src)
+	}
+	k := algo.NewKSourceKernel(sources, h)
+	if err := s.runExact(e, k); err != nil {
+		s.queryFailed(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.KSourceResponse{Sources: req.Sources, H: h, Dist: k.Dist()})
+}
+
+// runExact runs one exact kernel under the graph's session lease.
+func (s *Server) runExact(e *graphEntry, k clique.Kernel) error {
+	l, err := s.pool.acquire(e.info.Version, e.g)
+	if err != nil {
+		return err
+	}
+	defer l.release()
+	s.metrics.kernelRuns.Add(1)
+	// Queries run to completion even during shutdown: the HTTP layer's
+	// drain is the cancellation boundary.
+	return l.session().Run(context.Background(), k)
+}
+
+// queryFailed maps a query execution error onto a response.
+func (s *Server) queryFailed(w http.ResponseWriter, err error) {
+	s.metrics.queryErrors.Add(1)
+	status := http.StatusInternalServerError
+	if errors.Is(err, ErrGraphGone) {
+		status = http.StatusGone
+	}
+	writeErr(w, status, "%v", err)
+}
+
+// epsKeyOf formats ε as the cache/coalescer key. Queries agreeing on
+// the formatted value share a hopset and an admission queue.
+func epsKeyOf(eps float64) string {
+	return strconv.FormatFloat(eps, 'g', -1, 64)
+}
+
+func (s *Server) handleApproxSSSP(w http.ResponseWriter, r *http.Request) {
+	e := s.store.get(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "server: unknown graph %q", r.PathValue("id"))
+		return
+	}
+	var req api.ApproxSSSPRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := checkSources(e, []int64{req.Source}); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	eps := req.Eps
+	if eps == 0 {
+		eps = DefaultEps
+	}
+	if eps < 0 || eps != eps {
+		writeErr(w, http.StatusBadRequest, "server: eps %v outside [0, inf)", eps)
+		return
+	}
+	s.metrics.approxQueries.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	key := epsKeyOf(eps)
+	c := e.coalescerFor(key, func() *coalescer {
+		return newCoalescer(s.opts.MaxBatch, s.opts.CoalesceWait, func(sources []core.NodeID) (*batchResult, error) {
+			return s.runApproxBatch(e, eps, key, sources)
+		})
+	})
+	out := c.do(r.Context(), core.NodeID(req.Source))
+	if out.err != nil {
+		s.queryFailed(w, out.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ApproxSSSPResponse{
+		Source: req.Source, Eps: eps, Beta: out.beta, Dist: out.dist,
+		BatchSize: out.batch, CacheHit: out.cacheHit,
+		Passes: out.passes, Rounds: out.rounds,
+	})
+}
+
+// runApproxBatch executes one coalesced batch: under the graph's
+// session lease it either relaxes over the cached hopset-augmented
+// adjacency (cache hit — zero stage-1 rounds) or runs the full
+// two-stage ApproxKSourceKernel and caches the augmented matrix for
+// the next batch. Results are bit-identical either way, and identical
+// to per-source standalone Session runs, because the hopset is a
+// deterministic function of (graph, Params) and stage 2's dense
+// (min,+) products are column-independent.
+func (s *Server) runApproxBatch(e *graphEntry, eps float64, key string, sources []core.NodeID) (*batchResult, error) {
+	l, err := s.pool.acquire(e.info.Version, e.g)
+	if err != nil {
+		return nil, err
+	}
+	defer l.release()
+	sess := l.session()
+	before := sess.Stats()
+	s.metrics.kernelRuns.Add(1)
+
+	res := &batchResult{}
+	if hc := e.hopsets[key]; hc != nil {
+		k := algo.NewRelaxKernel(hc.aug, sources, hc.products)
+		if err := sess.Run(context.Background(), k); err != nil {
+			return nil, err
+		}
+		res.rows, res.beta, res.cacheHit = k.Dist(), hc.beta, true
+	} else {
+		k := algo.NewApproxKSourceKernel(sources, hopset.Params{Eps: eps})
+		if err := sess.Run(context.Background(), k); err != nil {
+			return nil, err
+		}
+		hs := k.Hopset()
+		aug, err := hopset.Augment(hs.Base, hs)
+		if err != nil {
+			return nil, err
+		}
+		e.hopsets[key] = &hopsetCache{
+			aug: aug, beta: hs.Beta,
+			products: algo.RelaxProducts(hs.Beta, e.info.N),
+		}
+		res.rows, res.beta = k.Dist(), hs.Beta
+	}
+	after := sess.Stats()
+	res.passes = after.Runs - before.Runs
+	res.rounds = after.Engine.Rounds - before.Engine.Rounds
+	s.metrics.observeBatch(len(sources), res.cacheHit)
+	return res, nil
+}

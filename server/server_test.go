@@ -1,0 +1,334 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/pkg/client"
+)
+
+// newTestDaemon serves a fresh Server over httptest and returns the
+// pkg/client handle — so every endpoint test also round-trips the
+// client library.
+func newTestDaemon(t *testing.T, opts Options) (*Server, *client.Client) {
+	t.Helper()
+	srv := New(opts)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+}
+
+// upload serializes g as edge-list text and loads it under name.
+func upload(t *testing.T, c *client.Client, name string, g *graph.CSR) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.LoadGraph(context.Background(), name, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.N != g.N || info.Edges != g.NumEdges() || info.Weighted != g.Weighted() {
+		t.Fatalf("uploaded info %+v does not match graph (n=%d m=%d w=%v)",
+			info, g.N, g.NumEdges(), g.Weighted())
+	}
+	return info.ID
+}
+
+// TestGraphLifecycle round-trips load/list/get/delete through
+// pkg/client, including duplicate and not-found errors.
+func TestGraphLifecycle(t *testing.T) {
+	_, c := newTestDaemon(t, Options{})
+	ctx := context.Background()
+	g := graph.RandomGNPWeighted(16, 0.3, 9, 1)
+
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	id := upload(t, c, "lifecycle", g)
+	if id != "lifecycle" {
+		t.Fatalf("id = %q, want lifecycle", id)
+	}
+
+	// Duplicate name → 409.
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.LoadGraph(ctx, "lifecycle", &buf)
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusConflict {
+		t.Fatalf("duplicate load error = %v, want 409 APIError", err)
+	}
+
+	// Auto-named upload.
+	autoID := upload(t, c, "", graph.Path(5))
+	list, err := c.ListGraphs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Graphs) != 2 {
+		t.Fatalf("list has %d graphs, want 2", len(list.Graphs))
+	}
+
+	info, err := c.GetGraph(ctx, id)
+	if err != nil || info.ID != id {
+		t.Fatalf("get %q: %+v, %v", id, info, err)
+	}
+	if _, err := c.GetGraph(ctx, "nope"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("get unknown: %v, want 404", err)
+	}
+
+	if err := c.DeleteGraph(ctx, autoID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteGraph(ctx, autoID); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("double delete: %v, want 404", err)
+	}
+	list, _ = c.ListGraphs(ctx)
+	if len(list.Graphs) != 1 {
+		t.Fatalf("after delete, list has %d graphs, want 1", len(list.Graphs))
+	}
+}
+
+// TestQueriesMatchReference checks every query kind against the
+// sequential Bellman-Ford oracle through the full HTTP + client stack.
+func TestQueriesMatchReference(t *testing.T) {
+	_, c := newTestDaemon(t, Options{})
+	ctx := context.Background()
+	g := graph.RandomGNPWeighted(24, 0.25, 9, 7)
+	id := upload(t, c, "ref", g)
+
+	want0 := algo.BellmanFordRef(g, 0)
+	want5 := algo.BellmanFordRef(g, 5)
+
+	sssp, err := c.SSSP(ctx, id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sssp.Dist, want0) {
+		t.Error("sssp dist does not match BellmanFordRef")
+	}
+
+	ks, err := c.KSource(ctx, id, []int64{0, 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ks.H < 1 {
+		t.Errorf("ksource default h = %d, want >= 1", ks.H)
+	}
+	if !reflect.DeepEqual(ks.Dist[0], want0) || !reflect.DeepEqual(ks.Dist[1], want5) {
+		t.Error("ksource rows do not match BellmanFordRef")
+	}
+
+	// Approximate distances respect the (1+eps) bound against the oracle.
+	const eps = 0.5
+	ap, err := c.ApproxSSSP(ctx, id, 5, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.CacheHit {
+		t.Error("first approx query reported a hopset cache hit")
+	}
+	for v, d := range ap.Dist {
+		exact := want5[v]
+		if (exact < 0) != (d < 0) {
+			t.Fatalf("vertex %d: approx %d vs exact %d disagree on reachability", v, d, exact)
+		}
+		if exact >= 0 && (d < exact || float64(d) > (1+eps)*float64(exact)+1e-9) {
+			t.Errorf("vertex %d: approx %d outside [%d, (1+eps)*%d]", v, d, exact, exact)
+		}
+	}
+
+	// Bad requests surface as 4xx.
+	var apiErr *client.APIError
+	if _, err := c.SSSP(ctx, id, 99); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("out-of-range source: %v, want 400", err)
+	}
+	if _, err := c.KSource(ctx, id, nil, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("empty sources: %v, want 400", err)
+	}
+	if _, err := c.ApproxSSSP(ctx, id, 0, -1); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("negative eps: %v, want 400", err)
+	}
+}
+
+// TestHopsetCacheSteadyState is the cache acceptance test: the second
+// approx query at the same (graph, eps) is served from the cached
+// hopset-augmented adjacency — zero stage-1 passes, strictly cheaper
+// than the first query, bit-identical distances — and /metrics records
+// the hit.
+func TestHopsetCacheSteadyState(t *testing.T) {
+	srv, c := newTestDaemon(t, Options{})
+	ctx := context.Background()
+	g := graph.RandomGNPWeighted(32, 0.2, 9, 3)
+	id := upload(t, c, "cached", g)
+	const eps = 0.25
+
+	first, err := c.ApproxSSSP(ctx, id, 4, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first query must construct the hopset (cache miss)")
+	}
+	second, err := c.ApproxSSSP(ctx, id, 4, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second query at same (graph, eps) must hit the hopset cache")
+	}
+	if !reflect.DeepEqual(second.Dist, first.Dist) {
+		t.Error("cached fast path is not bit-identical to the full pipeline")
+	}
+	if second.Beta != first.Beta {
+		t.Errorf("beta changed across cache: %d vs %d", second.Beta, first.Beta)
+	}
+
+	// Zero stage-1 work: the cached run spends exactly the stage-2
+	// relaxation products and nothing else.
+	wantPasses := algo.RelaxProducts(first.Beta, g.N)
+	if second.Passes != wantPasses {
+		t.Errorf("cached passes = %d, want exactly the %d stage-2 products", second.Passes, wantPasses)
+	}
+	if second.Passes >= first.Passes {
+		t.Errorf("cached passes %d not cheaper than full pipeline %d", second.Passes, first.Passes)
+	}
+	if second.Rounds >= first.Rounds {
+		t.Errorf("cached rounds %d not cheaper than full pipeline %d", second.Rounds, first.Rounds)
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap.CacheHits != 1 || snap.CacheMisses != 1 {
+		t.Errorf("cache counters (hits=%d, misses=%d), want (1, 1)", snap.CacheHits, snap.CacheMisses)
+	}
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "ccserve_hopset_cache_hits_total 1\n") {
+		t.Error("/metrics does not report the hopset cache hit")
+	}
+
+	// A different eps is its own cache line.
+	other, err := c.ApproxSSSP(ctx, id, 4, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHit {
+		t.Error("different eps must not hit the eps=0.25 cache line")
+	}
+}
+
+// TestMetricsAndStatsSurfaces scrapes /metrics and /stats after a mix
+// of queries and checks the accounting lines are present and sane.
+func TestMetricsAndStatsSurfaces(t *testing.T) {
+	_, c := newTestDaemon(t, Options{})
+	ctx := context.Background()
+	g := graph.Grid(4, 4)
+	id := upload(t, c, "obs", g)
+
+	if _, err := c.SSSP(ctx, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.KSource(ctx, id, []int64{0, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApproxSSSP(ctx, id, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# HELP ccserve_engine_rounds_total",
+		"# TYPE ccserve_engine_rounds_total counter",
+		"ccserve_queries_total{kind=\"sssp\"} 1",
+		"ccserve_queries_total{kind=\"ksource\"} 1",
+		"ccserve_queries_total{kind=\"approx-sssp\"} 1",
+		"ccserve_sessions_active 1",
+		"ccserve_graphs_loaded 1",
+		"ccserve_engine_words_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries["sssp"] != 1 || st.Queries["ksource"] != 1 || st.Queries["approx-sssp"] != 1 {
+		t.Errorf("query totals = %v", st.Queries)
+	}
+	if st.KernelRuns < 3 {
+		t.Errorf("kernel runs = %d, want >= 3", st.KernelRuns)
+	}
+	if len(st.Graphs) != 1 {
+		t.Fatalf("stats has %d graphs, want 1", len(st.Graphs))
+	}
+	gs := st.Graphs[0]
+	if gs.ID != id || gs.Stats.Kernels < 3 || gs.Stats.Engine.Rounds == 0 {
+		t.Errorf("per-graph stats %+v lacks session accounting", gs)
+	}
+}
+
+// TestLoadGraphRejectsMalformed checks the loader's diagnostics travel
+// through the HTTP surface as 400s.
+func TestLoadGraphRejectsMalformed(t *testing.T) {
+	_, c := newTestDaemon(t, Options{})
+	var apiErr *client.APIError
+	_, err := c.LoadGraph(context.Background(), "bad", strings.NewReader("0 0 5\n"))
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("self-loop upload: %v, want 400", err)
+	}
+	if !strings.Contains(apiErr.Message, "self-loop") {
+		t.Errorf("diagnostic %q does not name the self-loop", apiErr.Message)
+	}
+}
+
+// TestDeleteWhileQuerying checks DELETE waits out the in-flight query
+// and later queries fail cleanly.
+func TestDeleteWhileQuerying(t *testing.T) {
+	_, c := newTestDaemon(t, Options{CoalesceWait: 30 * time.Millisecond})
+	ctx := context.Background()
+	g := graph.RandomGNPWeighted(24, 0.3, 9, 11)
+	id := upload(t, c, "doomed", g)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ApproxSSSP(ctx, id, 0, 0.25)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the query enter its window
+	if err := c.DeleteGraph(ctx, id); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	// The in-flight query either completed before the drop or lost the
+	// race and reports the graph gone — never a hang, never a panic.
+	err := <-done
+	var apiErr *client.APIError
+	if err != nil && !errors.As(err, &apiErr) {
+		t.Fatalf("in-flight query after delete: %v", err)
+	}
+	if _, err := c.SSSP(ctx, id, 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("query after delete: %v, want 404", err)
+	}
+}

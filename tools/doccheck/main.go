@@ -1,6 +1,6 @@
 // doccheck is the repository's godoc coverage gate: it parses every
-// package under clique/ and internal/ (and cmd/, and itself) with
-// go/ast and fails
+// package under clique/, internal/, server/, and pkg/ (and cmd/, and
+// itself) with go/ast and fails
 // if a package lacks a package-level doc comment or any exported
 // top-level identifier lacks a doc comment. CI runs it in the docs job
 // so `go doc` output stays self-explanatory as the codebase grows.
@@ -9,8 +9,8 @@
 //
 //	go run ./tools/doccheck [root...]
 //
-// With no arguments it checks ./clique, ./internal, ./cmd, and ./tools
-// relative to the working directory. Exit status 1 lists every
+// With no arguments it checks ./clique, ./internal, ./cmd, ./tools,
+// ./server, and ./pkg relative to the working directory. Exit status 1 lists every
 // violation.
 package main
 
@@ -156,7 +156,7 @@ func exportedRecv(recv *ast.FieldList) bool {
 func main() {
 	roots := os.Args[1:]
 	if len(roots) == 0 {
-		roots = []string{"clique", "internal", "cmd", "tools"}
+		roots = []string{"clique", "internal", "cmd", "tools", "server", "pkg"}
 	}
 	fset := token.NewFileSet()
 	var all []violation
