@@ -25,10 +25,12 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/trace"
 )
 
 // settings is the accumulated result of applying functional options.
@@ -81,6 +83,18 @@ func WithRoundHook(h func(engine.RoundStats)) Option {
 	return func(s *settings) { s.eng.RoundHook = h }
 }
 
+// WithTrace feeds the session's timing spans into recorder r: the
+// engine records the per-round envelope and compute/scatter/exchange
+// phase breakdown, and the session adds one span per kernel pass
+// (named after the kernel, carrying the pass index and its round
+// count). Nil disables tracing — the default, costing one nil check
+// per round. Export the recorder with trace.WriteChrome after the
+// runs; a multi-rank run passes one recorder per rank (tagged via
+// Recorder.SetRank) to merge into a single timeline.
+func WithTrace(r *trace.Recorder) Option {
+	return func(s *settings) { s.eng.Trace = r }
+}
+
 // WithTransport routes the engine's per-round scatter/exchange through
 // tr — engine.NewMemTransport (the default when nil) for the
 // in-process slab router, or a multi-process transport such as
@@ -126,6 +140,7 @@ type Session struct {
 	explicitMaxRounds bool
 	stats             Stats
 	last              *engine.Stats
+	tracer            *trace.Recorder
 	closed            bool
 
 	// Checkpoint/replay state (see checkpoint.go). digests accumulates
@@ -171,6 +186,7 @@ func newSession(g *graph.CSR, n int, opts []Option) (*Session, error) {
 		ckptDir:           s.ckptDir,
 		ckptEvery:         s.ckptEvery,
 		recordDigests:     s.eng.RecordDigests,
+		tracer:            s.eng.Trace,
 	}
 	// The session interposes on the engine's RoundHook to accumulate
 	// replay digests across passes and drive the checkpoint cadence; the
@@ -284,8 +300,23 @@ func (s *Session) runLoop(ctx context.Context, k Kernel) error {
 				bound = h.MaxRoundsHint()
 			}
 		}
+		var passStart time.Time
+		if s.tracer != nil {
+			passStart = time.Now()
+		}
 		st, err := s.eng.RunBounded(ctx, nodes, bound)
 		s.track(st)
+		if s.tracer != nil && st != nil {
+			// One pass span per engine pass, on the rank's pass lane —
+			// named after the kernel so a pipeline's stages read off the
+			// timeline. Recorded for failed passes too: a trace that
+			// ends at the failing pass is the point of tracing.
+			s.tracer.Record(trace.Span{
+				Name: k.Name(), Cat: trace.CatPass, Lane: trace.LanePasses,
+				Start: s.tracer.Since(passStart), Dur: int64(time.Since(passStart)),
+				Round: int64(s.kernelPasses), Arg: uint64(st.Rounds),
+			})
+		}
 		if err != nil {
 			var hp *engine.HandlerPanicError
 			if errors.As(err, &hp) {

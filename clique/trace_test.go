@@ -1,0 +1,68 @@
+package clique_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/trace"
+)
+
+// TestWithTracePassSpans: a traced session records one pass span per
+// engine pass, named after the kernel, carrying the pass index and its
+// round count, alongside the engine's round and phase spans.
+func TestWithTracePassSpans(t *testing.T) {
+	g := graph.RandomGNP(12, 0.3, 3).WithUniformRandomWeights(4, 5)
+	rec := trace.NewRecorder(4096)
+	s, err := clique.New(g, clique.WithTrace(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, name := range []string{"bfs", "apsp"} {
+		k, err := clique.NewKernel(name, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(context.Background(), k); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	st := s.Stats()
+	var passes []trace.Span
+	var rounds int
+	for _, sp := range rec.Spans() {
+		switch sp.Cat {
+		case trace.CatPass:
+			passes = append(passes, sp)
+		case trace.CatRound:
+			rounds++
+		}
+	}
+	if len(passes) != st.Runs {
+		t.Fatalf("%d pass spans for %d engine passes", len(passes), st.Runs)
+	}
+	if rounds != st.Engine.Rounds {
+		t.Fatalf("%d round spans for %d cumulative rounds", rounds, st.Engine.Rounds)
+	}
+	names := map[string]bool{}
+	var passRounds uint64
+	for _, sp := range passes {
+		names[sp.Name] = true
+		if sp.Lane != trace.LanePasses {
+			t.Fatalf("pass span %q on lane %d", sp.Name, sp.Lane)
+		}
+		if sp.Dur <= 0 || sp.Arg == 0 {
+			t.Fatalf("pass span %q: Dur %d, Arg (rounds) %d", sp.Name, sp.Dur, sp.Arg)
+		}
+		passRounds += sp.Arg
+	}
+	if !names["bfs"] || !names["apsp"] {
+		t.Fatalf("pass span names %v, want bfs and apsp", names)
+	}
+	if passRounds != uint64(st.Engine.Rounds) {
+		t.Fatalf("pass spans bill %d rounds, stats say %d", passRounds, st.Engine.Rounds)
+	}
+}

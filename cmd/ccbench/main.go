@@ -17,6 +17,15 @@
 //	ccbench -kernel <name> [-kernel-n 64] [-kernel-o report.json]
 //	        [-checkpoint dir] [-ckpt-every k] [-resume file.ckpt]
 //	        [-transport mem|socket-tcp|socket-unix] [-ranks k]
+//	        [-progress] [-trace trace.json]
+//	ccbench [-cpuprofile cpu.pprof] [-memprofile mem.pprof] ...
+//
+// -trace writes a Chrome trace-event JSON timeline of the -kernel run
+// (per-round and per-phase spans plus kernel-pass spans; one process
+// lane per rank for a loopback cluster) for Perfetto or the tracestat
+// summarizer. -cpuprofile/-memprofile capture pprof profiles of any
+// invocation. -progress paints a live round/words/rate line on a
+// terminal stderr during -kernel runs and the -hopset-sizes workload.
 //
 // With a non-mem -transport, the -kernel run executes as a k-rank
 // loopback cluster of the selected socket transport — every rank its
@@ -52,6 +61,7 @@ import (
 	"github.com/paper-repo-growth/doryp20/internal/bench"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/trace"
 
 	// Register the algorithm kernels with the clique registry (the
 	// matmul kernels arrive through the bench import chain).
@@ -101,6 +111,10 @@ type kernelOpts struct {
 	// progress enables the live round/words/rate line on stderr,
 	// auto-disabled when stderr is not a terminal.
 	progress bool
+	// trace, when non-empty, writes a Chrome trace-event JSON timeline
+	// of the run there — for a loopback cluster, all ranks merged into
+	// one file with one process lane per rank.
+	trace string
 }
 
 // kernelReport is the -kernel-o JSON document. Stats uses the
@@ -136,6 +150,11 @@ func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int
 	sessOpts := []clique.Option{clique.WithDigests()}
 	if opt.ckptDir != "" {
 		sessOpts = append(sessOpts, clique.WithCheckpoint(opt.ckptDir, opt.ckptEvery))
+	}
+	var rec *trace.Recorder
+	if opt.trace != "" {
+		rec = trace.NewRecorder(0)
+		sessOpts = append(sessOpts, clique.WithTrace(rec))
 	}
 	var meter *progressMeter
 	if opt.progress {
@@ -209,6 +228,13 @@ func runKernel(name string, n int, opt kernelOpts, stdout, stderr io.Writer) int
 		}
 		fmt.Fprintln(stdout, "wrote", opt.out)
 	}
+	if rec != nil {
+		if err := writeTraceFile(opt.trace, rec); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "wrote", opt.trace)
+	}
 	return 0
 }
 
@@ -236,6 +262,17 @@ func runKernelCluster(name string, n int, opt kernelOpts, stdout, stderr io.Writ
 	stats := make([]clique.Stats, len(trs))
 	digests := make([][]uint64, len(trs))
 	errs := make([]error, len(trs))
+	// One recorder per rank, created together so the ranks share a
+	// timeline epoch; the export merges them into one file with a
+	// process lane per rank.
+	var recs []*trace.Recorder
+	if opt.trace != "" {
+		recs = make([]*trace.Recorder, len(trs))
+		for i := range recs {
+			recs[i] = trace.NewRecorder(0)
+			recs[i].SetRank(i)
+		}
+	}
 	var wg sync.WaitGroup
 	for i := range trs {
 		wg.Add(1)
@@ -247,7 +284,11 @@ func runKernelCluster(name string, n int, opt kernelOpts, stdout, stderr io.Writ
 					trs[rank].Close()
 					return err
 				}
-				s, err := clique.New(g, clique.WithDigests(), clique.WithTransport(trs[rank]))
+				sessOpts := []clique.Option{clique.WithDigests(), clique.WithTransport(trs[rank])}
+				if recs != nil {
+					sessOpts = append(sessOpts, clique.WithTrace(recs[rank]))
+				}
+				s, err := clique.New(g, sessOpts...)
 				if err != nil {
 					trs[rank].Close()
 					return err
@@ -294,6 +335,13 @@ func runKernelCluster(name string, n int, opt kernelOpts, stdout, stderr io.Writ
 		}
 		fmt.Fprintln(stdout, "wrote", opt.out)
 	}
+	if recs != nil {
+		if err := writeTraceFile(opt.trace, recs...); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "wrote", opt.trace)
+	}
 	return 0
 }
 
@@ -322,7 +370,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	resume := fs.String("resume", "", "resume the -kernel run from this checkpoint file")
 	transport := fs.String("transport", "mem", "transport for the -kernel run: mem, socket-tcp, or socket-unix (loopback cluster)")
 	ranks := fs.Int("ranks", 2, "rank count for a non-mem -transport")
-	progress := fs.Bool("progress", false, "live rounds/words/rate line on stderr during -kernel runs (TTY only)")
+	progress := fs.Bool("progress", false, "live rounds/words/rate line on stderr during -kernel and -hopset-sizes runs (TTY only)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON timeline of the -kernel run (load in Perfetto or summarize with tracestat)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0 // -h / -help is a successful help request
@@ -341,6 +392,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, name)
 		}
 		return 0
+	}
+	// Profiling covers every mode — the -kernel session path and the
+	// workload benches alike (ROADMAP: profile the (min,+) inner loops).
+	if *cpuprofile != "" {
+		stop, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer stop()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}()
 	}
 	if *kernel != "" {
 		if *kernelN < 1 {
@@ -368,11 +436,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 			resume: *resume, out: *kernelOut, signals: true,
 			transport: *transport, ranks: *ranks, progress: *progress,
+			trace: *traceOut,
 		}
 		return runKernel(*kernel, *kernelN, opt, stdout, stderr)
 	}
-	if *ckptDir != "" || *resume != "" || *kernelOut != "" || *progress {
-		fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume/-kernel-o/-progress require -kernel")
+	if *ckptDir != "" || *resume != "" || *kernelOut != "" || *traceOut != "" {
+		fmt.Fprintln(stderr, "ccbench: -checkpoint/-resume/-kernel-o/-trace require -kernel")
 		return 2
 	}
 	if *transport != "mem" {
@@ -420,6 +489,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccbench: -hopset-p %v outside (0, 1]\n", *hopsetP)
 		return 2
 	}
+	if *progress && len(hsizes) == 0 {
+		fmt.Fprintln(stderr, "ccbench: -progress requires -kernel or a -hopset-sizes workload")
+		return 2
+	}
 
 	if len(sizes) > 0 {
 		rep, err := bench.Run(sizes, *rounds, *fanout)
@@ -460,7 +533,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if len(hsizes) > 0 {
-		hrep, err := bench.RunHopset(hsizes, *hopsetP, 1)
+		// The hopset bench is the 13-minute one: -progress rides the
+		// per-round observer with a label naming the current stage.
+		var obs bench.HopsetObserver
+		var meter *progressMeter
+		if *progress {
+			if isTerminal(stderr) {
+				meter = newProgressMeter(stderr, 0)
+				obs = func(stage string, n int, rs engine.RoundStats) {
+					meter.setLabel(fmt.Sprintf("hopset n=%d %s", n, stage))
+					meter.hook(rs)
+				}
+			} else {
+				fmt.Fprintln(stderr, "ccbench: -progress disabled (stderr is not a terminal)")
+			}
+		}
+		hrep, err := bench.RunHopsetObserved(hsizes, *hopsetP, 1, obs)
+		if meter != nil {
+			meter.finish()
+		}
 		if err != nil {
 			fmt.Fprintln(stderr, "ccbench:", err)
 			return 1

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"github.com/paper-repo-growth/doryp20/internal/trace"
+)
+
+// startCPUProfile begins a -cpuprofile capture and returns the stop
+// function that finishes the profile and closes the file.
+func startCPUProfile(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("ccbench: -cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ccbench: -cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile snapshots the heap to the -memprofile path, after a
+// GC so the profile reflects live retention rather than garbage.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ccbench: -memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("ccbench: -memprofile: %w", err)
+	}
+	return nil
+}
+
+// writeTraceFile exports the recorders' spans as one merged Chrome
+// trace-event JSON file (multiple recorders = one lane per rank).
+func writeTraceFile(path string, recs ...*trace.Recorder) error {
+	if err := trace.WriteChromeFile(path, recs...); err != nil {
+		return fmt.Errorf("ccbench: -trace: %w", err)
+	}
+	return nil
+}

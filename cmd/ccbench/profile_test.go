@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chromeTrace is the slice of a Chrome trace-event document these
+// tests assert on.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		Dur  float64 `json:"dur"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+	} `json:"traceEvents"`
+}
+
+func readTrace(t *testing.T, path string) chromeTrace {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestKernelTraceWritesChromeJSON: a -trace -kernel run emits a valid
+// Chrome trace-event document with round, phase, and pass spans.
+func TestKernelTraceWritesChromeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, stdout, stderr := runCC(t, "-kernel", "bfs", "-kernel-n", "16", "-trace", path)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+path) {
+		t.Errorf("stdout lacks trace confirmation: %q", stdout)
+	}
+	doc := readTrace(t, path)
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			counts[ev.Cat]++
+		}
+	}
+	for _, cat := range []string{"round", "phase", "pass"} {
+		if counts[cat] == 0 {
+			t.Errorf("no %q spans in trace: %v", cat, counts)
+		}
+	}
+}
+
+// TestClusterTraceMergesRanks: a 2-rank loopback run merges both
+// ranks' spans into one file with distinct process lanes.
+func TestClusterTraceMergesRanks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	code, _, stderr := runCC(t, "-kernel", "bfs", "-kernel-n", "16",
+		"-transport", "socket-unix", "-ranks", "2", "-trace", path)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr)
+	}
+	doc := readTrace(t, path)
+	pids := map[int]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+		}
+	}
+	if !pids[0] || !pids[1] || len(pids) != 2 {
+		t.Errorf("span pids = %v, want exactly {0, 1}", pids)
+	}
+}
+
+// TestTraceRequiresKernel: -trace outside a -kernel run is a flag
+// error like its checkpoint siblings.
+func TestTraceRequiresKernel(t *testing.T) {
+	code, _, stderr := runCC(t, "-trace", "out.json")
+	if code != 2 {
+		t.Fatalf("run exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-trace require") {
+		t.Errorf("missing diagnostic: %q", stderr)
+	}
+}
+
+// TestProfilesWritten: -cpuprofile and -memprofile produce non-empty
+// pprof files for any invocation (here a tiny kernel run).
+func TestProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "mem.pprof")
+	code, _, stderr := runCC(t, "-kernel", "bfs", "-kernel-n", "16",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		info, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+// TestBadProfilePathExitsNonZero: an uncreatable -cpuprofile path is a
+// startup error, not a silent no-op.
+func TestBadProfilePathExitsNonZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-kernel", "bfs", "-kernel-n", "8",
+		"-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof")},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "-cpuprofile") {
+		t.Errorf("missing diagnostic: %q", stderr.String())
+	}
+}

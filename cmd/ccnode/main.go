@@ -11,7 +11,11 @@
 //
 //	ccnode -rank 0 -addrs host0:9000,host1:9000,host2:9000 [-network tcp]
 //	       [-kernel approx-sssp] [-n 256] [-p 0.15] [-seed 1]
-//	       [-timeout 30s] [-o report.json]
+//	       [-timeout 30s] [-o report.json] [-trace trace-rank0.json]
+//
+// -trace writes this rank's Chrome trace-event timeline (rank-tagged
+// process lane). Give each rank its own path; tools/tracestat merges
+// the per-rank files into one cluster summary.
 //
 // Every rank must be started with the SAME -addrs list (it defines the
 // cluster), the same workload flags, and its own -rank index. A single
@@ -43,6 +47,7 @@ import (
 	"github.com/paper-repo-growth/doryp20/internal/bench"
 	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
+	"github.com/paper-repo-growth/doryp20/internal/trace"
 
 	// Register the algorithm and matmul kernels with the clique registry.
 	_ "github.com/paper-repo-growth/doryp20/internal/algo"
@@ -93,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "graph seed")
 	timeout := fs.Duration("timeout", 30*time.Second, "bound on each socket operation (dial, handshake, one frame)")
 	out := fs.String("o", "", "report output path (empty prints the report to stdout)")
+	traceOut := fs.String("trace", "", "write this rank's Chrome trace-event JSON timeline here (give each rank its own path; tracestat merges them)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -133,6 +139,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := []clique.Option{clique.WithDigests()}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder(0)
+		rec.SetRank(*rank)
+		opts = append(opts, clique.WithTrace(rec))
+	}
 	transportName := "mem"
 	if len(addrs) > 1 {
 		tr, err := engine.NewSocketTransport(engine.SocketConfig{
@@ -164,6 +176,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "ccnode:", err)
 		return 1
+	}
+	if rec != nil {
+		if err := trace.WriteChromeFile(*traceOut, rec); err != nil {
+			fmt.Fprintln(stderr, "ccnode:", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "wrote", *traceOut)
 	}
 	fmt.Fprintf(stdout, "rank %d/%d nodes [%d, %d): %s on n=%d done in %d passes, %d rounds, %d msgs\n",
 		rep.Rank, rep.Ranks, rep.Lo, rep.Hi, rep.Kernel, rep.N,

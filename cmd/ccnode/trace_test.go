@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestTracePerRankFiles runs a two-rank unix-socket cluster with
+// -trace and checks each rank writes its own rank-tagged Chrome
+// trace-event file — the inputs tracestat merges into one timeline.
+func TestTracePerRankFiles(t *testing.T) {
+	dir := t.TempDir()
+	addrs := strings.Join([]string{
+		filepath.Join(dir, "rank0.sock"),
+		filepath.Join(dir, "rank1.sock"),
+	}, ",")
+	traces := [2]string{filepath.Join(dir, "t0.json"), filepath.Join(dir, "t1.json")}
+	codes := [2]int{}
+	stderrs := [2]bytes.Buffer{}
+	var wg sync.WaitGroup
+	for rank := 0; rank < 2; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			codes[rank] = run([]string{
+				"-rank", fmt.Sprint(rank), "-addrs", addrs,
+				"-network", "unix", "-timeout", "10s",
+				"-kernel", "bfs", "-n", "32", "-trace", traces[rank],
+			}, &out, &stderrs[rank])
+		}(rank)
+	}
+	wg.Wait()
+	for rank, code := range codes {
+		if code != 0 {
+			t.Fatalf("rank %d: exit %d\nstderr:\n%s", rank, code, stderrs[rank].String())
+		}
+	}
+
+	for rank, path := range traces {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("rank %d trace: %v", rank, err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Ph  string `json:"ph"`
+				Cat string `json:"cat"`
+				Pid int    `json:"pid"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("rank %d trace is not valid JSON: %v", rank, err)
+		}
+		rounds := 0
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" {
+				continue
+			}
+			if ev.Pid != rank {
+				t.Fatalf("rank %d trace carries pid %d span", rank, ev.Pid)
+			}
+			if ev.Cat == "round" {
+				rounds++
+			}
+		}
+		if rounds == 0 {
+			t.Errorf("rank %d trace has no round spans", rank)
+		}
+	}
+}

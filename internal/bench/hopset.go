@@ -7,9 +7,16 @@ import (
 
 	"github.com/paper-repo-growth/doryp20/clique"
 	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/engine"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
 	"github.com/paper-repo-growth/doryp20/internal/hopset"
 )
+
+// HopsetObserver streams the hopset workload's progress: it is invoked
+// synchronously with every engine round of every stage ("exact-apsp"
+// or "approx-sssp") at clique size n — the tap ccbench's -progress
+// line rides on during the long bench. A nil observer costs nothing.
+type HopsetObserver func(stage string, n int, rs engine.RoundStats)
 
 // HopsetResult is one measured hopset configuration: exact all-pairs
 // APSP (distance-product repeated squaring) versus hopset-based
@@ -62,10 +69,10 @@ func hopsetParams(n int) hopset.Params {
 	}
 }
 
-// runKernelOnSession runs one kernel on a fresh session over g and
-// returns the session's cumulative stats.
-func runKernelOnSession(g *graph.CSR, k clique.Kernel) (clique.Stats, error) {
-	s, err := clique.New(g)
+// runKernelOnSession runs one kernel on a fresh session over g (built
+// with opts) and returns the session's cumulative stats.
+func runKernelOnSession(g *graph.CSR, k clique.Kernel, opts ...clique.Option) (clique.Stats, error) {
+	s, err := clique.New(g, opts...)
 	if err != nil {
 		return clique.Stats{}, err
 	}
@@ -79,15 +86,27 @@ func runKernelOnSession(g *graph.CSR, k clique.Kernel) (clique.Stats, error) {
 // HopsetCompare measures exact APSP versus hopset-based approximate
 // SSSP on one deterministic weighted G(n, p) instance.
 func HopsetCompare(n int, p float64, seed int64) (HopsetResult, error) {
+	return HopsetCompareObserved(n, p, seed, nil)
+}
+
+// HopsetCompareObserved is HopsetCompare with a per-round observer
+// (nil is allowed and free).
+func HopsetCompareObserved(n int, p float64, seed int64, obs HopsetObserver) (HopsetResult, error) {
 	g := graph.RandomGNPWeighted(n, p, 32, seed)
 	params := hopsetParams(n)
+	stageOpts := func(stage string) []clique.Option {
+		if obs == nil {
+			return nil
+		}
+		return []clique.Option{clique.WithRoundHook(func(rs engine.RoundStats) { obs(stage, n, rs) })}
+	}
 
-	exact, err := runKernelOnSession(g, algo.NewAPSPKernel())
+	exact, err := runKernelOnSession(g, algo.NewAPSPKernel(), stageOpts("exact-apsp")...)
 	if err != nil {
 		return HopsetResult{}, fmt.Errorf("bench: hopset n=%d exact: %w", n, err)
 	}
 	ak := algo.NewApproxSSSPKernel(0, params)
-	approx, err := runKernelOnSession(g, ak)
+	approx, err := runKernelOnSession(g, ak, stageOpts("approx-sssp")...)
 	if err != nil {
 		return HopsetResult{}, fmt.Errorf("bench: hopset n=%d approx: %w", n, err)
 	}
@@ -116,12 +135,18 @@ func HopsetCompare(n int, p float64, seed int64) (HopsetResult, error) {
 // RunHopset measures the hopset workload across the given clique sizes
 // and assembles the report.
 func RunHopset(sizes []int, p float64, seed int64) (*HopsetReport, error) {
+	return RunHopsetObserved(sizes, p, seed, nil)
+}
+
+// RunHopsetObserved is RunHopset with a per-round observer (nil is
+// allowed and free) — the live-progress tap for the long bench.
+func RunHopsetObserved(sizes []int, p float64, seed int64, obs HopsetObserver) (*HopsetReport, error) {
 	rep := &HopsetReport{
 		Schema: "doryp20/bench-hopset/v1",
 		Host:   CurrentHost(),
 	}
 	for _, n := range sizes {
-		res, err := HopsetCompare(n, p, seed)
+		res, err := HopsetCompareObserved(n, p, seed, obs)
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/trace"
 )
 
 // Node is one clique participant. Round is invoked exactly once per
@@ -76,6 +77,13 @@ type Options struct {
 	// match. Off by default: the round loop then pays a single branch
 	// and never touches the delivered messages.
 	RecordDigests bool
+	// Trace, when non-nil, receives per-round spans — one whole-round
+	// envelope plus the compute/scatter/exchange phase breakdown — into
+	// its ring buffer. Nil (the default) disables tracing at the cost of
+	// one nil check per round, the same discipline as testHooks; span
+	// recording never allocates either way. Enabling Trace additionally
+	// turns on per-worker barrier-wait sampling (RoundStats.BarrierWait).
+	Trace *trace.Recorder
 	// Transport selects the fabric that completes each round's
 	// all-to-all exchange (see transport.go). Nil selects the
 	// in-process MemTransport — the zero-allocation slab scatter. A
@@ -145,6 +153,21 @@ type RoundStats struct {
 	Msgs  uint64
 	Bytes uint64
 	Wall  time.Duration
+	// Compute is phase A: all local node handlers dispatched to the
+	// worker pool, up to the phase barrier.
+	Compute time.Duration
+	// Exchange is phase B: the transport completing the round — the
+	// in-process slab scatter, or a socket transport's frame exchange.
+	Exchange time.Duration
+	// Scatter is the in-process parallel-scatter portion of Exchange
+	// (equal to nearly all of it on MemTransport, the local share on a
+	// socket transport that scatters after its frame exchange).
+	Scatter time.Duration
+	// BarrierWait is the mean per-worker idle time at the phase-A
+	// barrier — the load-imbalance signal: compute time is wasted when
+	// most workers finish their node range early and wait for the
+	// slowest. Measured only when Options.Trace is set, 0 otherwise.
+	BarrierWait time.Duration
 	// Digest is the chained FNV-1a replay digest of the round's
 	// delivered traffic when Options.RecordDigests is set, 0 otherwise.
 	// See Options.RecordDigests for the exact bytes folded.
@@ -231,6 +254,15 @@ type Engine struct {
 	started bool
 	closed  bool
 
+	// Phase-timing scratch. doneAt[w] is worker w's phase-A finish
+	// stamp, written by the worker and read by the run loop strictly
+	// after the barrier — no lock needed. scatterAt/scatterDur time the
+	// in-process parallel scatter, written inside the transport's
+	// Exchange (via Binding.ParallelScatter) and read after it returns.
+	doneAt     []time.Time
+	scatterAt  time.Time
+	scatterDur time.Duration
+
 	// Replay-digest chain of the current run (RecordDigests only):
 	// digests[r] summarizes rounds 0..r, lastDigest is the chain head.
 	digests    []uint64
@@ -291,6 +323,7 @@ func New(n int, opts Options) (*Engine, error) {
 		hi:        make([]int, w),
 		errs:      make([]error, w),
 		cmds:      make([]chan workerCmd, w),
+		doneAt:    make([]time.Time, w),
 		transport: tr,
 		partLo:    partLo,
 		partHi:    partHi,
@@ -339,6 +372,13 @@ func (e *Engine) start() {
 				switch cmd {
 				case cmdRunNodes:
 					e.runNodes(w)
+					// Barrier-wait sampling: stamp after the handlers
+					// (including the panic-recovered path) so the run
+					// loop can compute this worker's idle time at the
+					// barrier. Gated on tracing — one nil check.
+					if e.opts.Trace != nil {
+						e.doneAt[w] = time.Now()
+					}
 				case cmdScatter:
 					e.rt.scatterShard(w)
 				}
@@ -371,11 +411,13 @@ func (e *Engine) Close() {
 // parallelScatter runs phase B on the worker pool: shard s is
 // scattered by worker s. Exposed to transports via Binding.
 func (e *Engine) parallelScatter() {
+	e.scatterAt = time.Now()
 	e.barrier.Add(e.workers)
 	for _, ch := range e.cmds {
 		ch <- cmdScatter
 	}
 	e.barrier.Wait()
+	e.scatterDur = time.Since(e.scatterAt)
 }
 
 // runNodes executes phase A for worker w: invoke every owned node's
@@ -549,6 +591,7 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 			ch <- cmdRunNodes
 		}
 		e.barrier.Wait()
+		tA := time.Now()
 		for _, err := range e.errs {
 			if err != nil {
 				e.transport.Abort(err)
@@ -569,6 +612,8 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 		}
 		localMsgs := sentTotal - prevSent
 		prevSent = sentTotal
+		e.scatterAt, e.scatterDur = time.Time{}, 0
+		tX := time.Now()
 		roundMsgs, xerr := e.transport.Exchange(e.round, localMsgs)
 		if xerr != nil {
 			e.transport.Abort(xerr)
@@ -576,11 +621,38 @@ func (e *Engine) RunBounded(ctx context.Context, nodes []Node, maxRounds int) (*
 			return stats, xerr
 		}
 
+		tEnd := time.Now()
 		rs := RoundStats{
-			Round: e.round,
-			Msgs:  roundMsgs,
-			Bytes: roundMsgs * uint64(e.opts.Budget.MsgBits) / 8,
-			Wall:  time.Since(t0),
+			Round:    e.round,
+			Msgs:     roundMsgs,
+			Bytes:    roundMsgs * uint64(e.opts.Budget.MsgBits) / 8,
+			Wall:     tEnd.Sub(t0),
+			Compute:  tA.Sub(t0),
+			Exchange: tEnd.Sub(tX),
+			Scatter:  e.scatterDur,
+		}
+		if tr := e.opts.Trace; tr != nil {
+			// Mean worker idle at the phase-A barrier: how much compute
+			// time load imbalance wasted this round. doneAt was stamped
+			// by each worker before it released the barrier.
+			var idle time.Duration
+			for _, d := range e.doneAt {
+				if !d.IsZero() && d.Before(tA) {
+					idle += tA.Sub(d)
+				}
+			}
+			rs.BarrierWait = idle / time.Duration(e.workers)
+			round := int64(e.round)
+			tr.Record(trace.Span{Name: trace.NameRound, Cat: trace.CatRound, Lane: trace.LaneRounds,
+				Start: tr.Since(t0), Dur: int64(rs.Wall), Round: round, Arg: rs.Msgs})
+			tr.Record(trace.Span{Name: trace.NameCompute, Cat: trace.CatPhase, Lane: trace.LanePhases,
+				Start: tr.Since(t0), Dur: int64(rs.Compute), Round: round, Arg: uint64(rs.BarrierWait)})
+			tr.Record(trace.Span{Name: trace.NameExchange, Cat: trace.CatPhase, Lane: trace.LanePhases,
+				Start: tr.Since(tX), Dur: int64(rs.Exchange), Round: round})
+			if !e.scatterAt.IsZero() {
+				tr.Record(trace.Span{Name: trace.NameScatter, Cat: trace.CatPhase, Lane: trace.LanePhases,
+					Start: tr.Since(e.scatterAt), Dur: int64(rs.Scatter), Round: round})
+			}
 		}
 		if e.opts.RecordDigests {
 			e.lastDigest = e.foldInboxDigest()

@@ -46,10 +46,14 @@ type SSSPRequest struct {
 	Source int64 `json:"source"`
 }
 
-// SSSPResponse carries exact distances from Source to every vertex.
+// SSSPResponse carries exact distances from Source to every vertex,
+// plus the query's cost telemetry: the engine rounds the run took and
+// its engine wall time in nanoseconds.
 type SSSPResponse struct {
-	Source int64   `json:"source"`
-	Dist   []int64 `json:"dist"`
+	Source    int64   `json:"source"`
+	Dist      []int64 `json:"dist"`
+	Rounds    int     `json:"rounds"`
+	WallNanos int64   `json:"wall_nanos"`
 }
 
 // KSourceRequest asks for exact distances from several sources in one
@@ -61,11 +65,14 @@ type KSourceRequest struct {
 	H       int     `json:"h,omitempty"`
 }
 
-// KSourceResponse carries one distance row per requested source.
+// KSourceResponse carries one distance row per requested source, plus
+// the run's rounds/wall cost telemetry.
 type KSourceResponse struct {
-	Sources []int64   `json:"sources"`
-	H       int       `json:"h"`
-	Dist    [][]int64 `json:"dist"`
+	Sources   []int64   `json:"sources"`
+	H         int       `json:"h"`
+	Dist      [][]int64 `json:"dist"`
+	Rounds    int       `json:"rounds"`
+	WallNanos int64     `json:"wall_nanos"`
 }
 
 // ApproxSSSPRequest asks for (1+ε)-approximate single-source
@@ -92,6 +99,10 @@ type ApproxSSSPResponse struct {
 	CacheHit  bool    `json:"cache_hit"`
 	Passes    int     `json:"passes"`
 	Rounds    int     `json:"rounds"`
+	// WallNanos is the batch's engine wall time, shared across its
+	// BatchSize queries (zero when another leader's cached batch
+	// answered this query).
+	WallNanos int64 `json:"wall_nanos"`
 }
 
 // GraphStats pairs a loaded graph with its serving session's

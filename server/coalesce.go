@@ -17,6 +17,7 @@ type batchResult struct {
 	cacheHit bool
 	passes   int
 	rounds   int
+	wall     time.Duration
 }
 
 // batchFunc executes one batched kernel run for the coalescer — in the
@@ -33,6 +34,7 @@ type queryOutcome struct {
 	cacheHit bool
 	passes   int
 	rounds   int
+	wall     time.Duration
 	err      error
 }
 
@@ -138,7 +140,7 @@ func (c *coalescer) lead() {
 			}
 			w.ch <- queryOutcome{
 				dist: res.rows[i], beta: res.beta, batch: k,
-				cacheHit: res.cacheHit, passes: res.passes, rounds: res.rounds,
+				cacheHit: res.cacheHit, passes: res.passes, rounds: res.rounds, wall: res.wall,
 			}
 		}
 	}

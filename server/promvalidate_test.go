@@ -1,0 +1,445 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/internal/engine"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+	line   int
+}
+
+// parseLabels parses `k="v",k2="v2"` with the exposition escaping rules
+// (\\, \", \n inside label values).
+func parseLabels(s string, line int) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("line %d: label missing '=' in %q", line, s)
+		}
+		name := s[:eq]
+		if !labelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("line %d: bad label name %q", line, name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("line %d: label %s value not quoted", line, name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				i++
+				if i >= len(s) {
+					return nil, fmt.Errorf("line %d: dangling escape in label %s", line, name)
+				}
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("line %d: invalid escape \\%c in label %s", line, s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("line %d: unterminated label value for %s", line, name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, fmt.Errorf("line %d: duplicate label %s", line, name)
+		}
+		labels[name] = val.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+// reporter is the slice of testing.T the validator needs — an
+// interface so the validator-of-the-validator test can count failures
+// without fabricating a testing.T.
+type reporter interface {
+	Errorf(format string, args ...any)
+}
+
+// failCounter is a reporter that just counts.
+type failCounter struct{ fails int }
+
+func (f *failCounter) Errorf(string, ...any) { f.fails++ }
+
+// validatePrometheus is a strict text-exposition checker: metric and
+// label name syntax, label value escaping, HELP/TYPE pairing and
+// placement (TYPE before the family's first sample, at most one each),
+// histogram completeness (ascending le, cumulative monotone buckets,
+// +Inf == _count, _sum present), and parseable sample values.
+func validatePrometheus(t reporter, body string) []promSample {
+	helpSeen := map[string]bool{}
+	typeOf := map[string]string{}
+	sampled := map[string]bool{}
+	var samples []promSample
+
+	// baseFamily strips histogram/summary suffixes to the family a TYPE
+	// declaration covers.
+	baseFamily := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suf)
+			if base != name && typeOf[base] == "histogram" {
+				return base
+			}
+		}
+		return name
+	}
+
+	for i, line := range strings.Split(body, "\n") {
+		n := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Errorf("line %d: malformed comment %q", n, line)
+				continue
+			}
+			name := parts[2]
+			if !metricNameRe.MatchString(name) {
+				t.Errorf("line %d: bad metric name %q in %s", n, name, parts[1])
+				continue
+			}
+			switch parts[1] {
+			case "HELP":
+				if helpSeen[name] {
+					t.Errorf("line %d: second HELP for %s", n, name)
+				}
+				helpSeen[name] = true
+			case "TYPE":
+				if typeOf[name] != "" {
+					t.Errorf("line %d: second TYPE for %s", n, name)
+				}
+				if sampled[name] {
+					t.Errorf("line %d: TYPE for %s after its samples", n, name)
+				}
+				if len(parts) < 4 {
+					t.Errorf("line %d: TYPE without a type", n)
+					continue
+				}
+				switch parts[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					t.Errorf("line %d: unknown TYPE %q", n, parts[3])
+				}
+				typeOf[name] = parts[3]
+			}
+			continue
+		}
+
+		// Sample line: name[{labels}] value
+		rest := line
+		var name, labelStr string
+		if br := strings.IndexByte(rest, '{'); br >= 0 {
+			name = rest[:br]
+			end := strings.LastIndexByte(rest, '}')
+			if end < br {
+				t.Errorf("line %d: unterminated label set: %q", n, line)
+				continue
+			}
+			labelStr = rest[br+1 : end]
+			rest = strings.TrimSpace(rest[end+1:])
+		} else {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				t.Errorf("line %d: want 'name value', got %q", n, line)
+				continue
+			}
+			name, rest = fields[0], fields[1]
+		}
+		if !metricNameRe.MatchString(name) {
+			t.Errorf("line %d: bad metric name %q", n, name)
+			continue
+		}
+		labels, err := parseLabels(labelStr, n)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Errorf("line %d: unparseable value in %q: %v", n, line, err)
+			continue
+		}
+		fam := baseFamily(name)
+		sampled[fam] = true
+		if typeOf[fam] == "" {
+			t.Errorf("line %d: sample %s precedes any TYPE for %s", n, name, fam)
+		}
+		if helpSeen[fam] != true {
+			t.Errorf("line %d: sample %s has no HELP for %s", n, name, fam)
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: val, line: n})
+	}
+
+	// Histogram families: group _bucket series by their non-le labels,
+	// check le ascends, counts are monotone, +Inf matches _count, and
+	// _sum exists.
+	for fam, typ := range typeOf {
+		if typ != "histogram" {
+			continue
+		}
+		type series struct {
+			les  []float64
+			cums []float64
+		}
+		group := map[string]*series{}
+		sums := map[string]bool{}
+		counts := map[string]float64{}
+		keyOf := func(labels map[string]string) string {
+			var parts []string
+			for k, v := range labels {
+				if k == "le" {
+					continue
+				}
+				parts = append(parts, k+"="+v)
+			}
+			sort.Strings(parts)
+			return strings.Join(parts, ",")
+		}
+		for _, s := range samples {
+			switch s.name {
+			case fam + "_bucket":
+				le := s.labels["le"]
+				if le == "" {
+					t.Errorf("line %d: %s_bucket without le", s.line, fam)
+					continue
+				}
+				var ub float64
+				if le == "+Inf" {
+					ub = math.Inf(1)
+				} else if ub, _ = strconv.ParseFloat(le, 64); ub == 0 && le != "0" {
+					t.Errorf("line %d: unparseable le %q", s.line, le)
+					continue
+				}
+				g := group[keyOf(s.labels)]
+				if g == nil {
+					g = &series{}
+					group[keyOf(s.labels)] = g
+				}
+				g.les = append(g.les, ub)
+				g.cums = append(g.cums, s.value)
+			case fam + "_sum":
+				sums[keyOf(s.labels)] = true
+			case fam + "_count":
+				counts[keyOf(s.labels)] = s.value
+			}
+		}
+		if len(group) == 0 {
+			t.Errorf("histogram %s has no _bucket samples", fam)
+		}
+		for key, g := range group {
+			for i := 1; i < len(g.les); i++ {
+				if g.les[i] <= g.les[i-1] {
+					t.Errorf("histogram %s{%s}: le not ascending at %v", fam, key, g.les[i])
+				}
+				if g.cums[i] < g.cums[i-1] {
+					t.Errorf("histogram %s{%s}: bucket counts not monotone at le=%v (%v < %v)",
+						fam, key, g.les[i], g.cums[i], g.cums[i-1])
+				}
+			}
+			if len(g.les) == 0 || !math.IsInf(g.les[len(g.les)-1], 1) {
+				t.Errorf("histogram %s{%s}: missing +Inf bucket", fam, key)
+				continue
+			}
+			if cnt, ok := counts[key]; !ok {
+				t.Errorf("histogram %s{%s}: missing _count", fam, key)
+			} else if cnt != g.cums[len(g.cums)-1] {
+				t.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", fam, key, cnt, g.cums[len(g.cums)-1])
+			}
+			if !sums[key] {
+				t.Errorf("histogram %s{%s}: missing _sum", fam, key)
+			}
+		}
+	}
+	return samples
+}
+
+// TestMetricsExpositionValid runs real traffic through the daemon and
+// then strict-validates the entire /metrics document, asserting the new
+// per-kind latency histograms carry the traffic.
+func TestMetricsExpositionValid(t *testing.T) {
+	_, c := newTestDaemon(t, Options{})
+	ctx := context.Background()
+	id := upload(t, c, "prom", graph.Grid(4, 4))
+
+	if _, err := c.SSSP(ctx, id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.KSource(ctx, id, []int64{0, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ApproxSSSP(ctx, id, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePrometheus(t, body)
+
+	count := func(name, kind string) float64 {
+		for _, s := range samples {
+			if s.name == name && (kind == "" || s.labels["kind"] == kind) {
+				return s.value
+			}
+		}
+		t.Errorf("no sample %s kind=%q", name, kind)
+		return -1
+	}
+	for _, kind := range []string{"sssp", "ksource", "approx-sssp"} {
+		if got := count("ccserve_query_duration_seconds_count", kind); got != 1 {
+			t.Errorf("query duration count for %s = %v, want 1", kind, got)
+		}
+	}
+	if got := count("ccserve_kernel_wall_seconds_count", ""); got < 3 {
+		t.Errorf("kernel wall count = %v, want >= 3", got)
+	}
+	// Satellite: engine words are a real folded counter agreeing with
+	// the message count (one budgeted word per message).
+	if w, m := count("ccserve_engine_words_total", ""), count("ccserve_engine_messages_total", ""); w != m || w == 0 {
+		t.Errorf("words %v vs msgs %v, want equal and nonzero", w, m)
+	}
+	if got := count("ccserve_engine_round_wall_seconds_total", ""); got <= 0 {
+		t.Errorf("round wall total = %v, want > 0", got)
+	}
+}
+
+// TestValidatorCatchesBadExposition pins the validator itself: a broken
+// document must fail each check.
+func TestValidatorCatchesBadExposition(t *testing.T) {
+	cases := []struct{ name, doc string }{
+		{"no TYPE", "orphan_metric 3\n"},
+		{"bad escape", "# HELP m h\n# TYPE m counter\nm{l=\"a\\q\"} 1\n"},
+		{"bucket regression", "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"count mismatch", "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 9\n"},
+		{"missing +Inf", "# HELP h h\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+	}
+	for _, tc := range cases {
+		probe := &failCounter{}
+		validatePrometheus(probe, tc.doc)
+		if probe.fails == 0 {
+			t.Errorf("%s: validator accepted a broken document", tc.name)
+		}
+	}
+}
+
+// TestPprofEndpoints: the daemon exposes the standard profiling
+// surface under /debug/pprof/.
+func TestPprofEndpoints(t *testing.T) {
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/goroutine", "/debug/pprof/cmdline"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestConcurrentMetricsObservers hammers ObserveRound, the query
+// histograms, and the renderer from many goroutines — meaningful under
+// -race (the ccserve-smoke CI job runs it) and as a monotonicity check:
+// a render racing observes must still produce a valid document.
+func TestConcurrentMetricsObservers(t *testing.T) {
+	m := &Metrics{}
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				m.ObserveRound(engine.RoundStats{Msgs: 3, Bytes: 12, Wall: time.Duration(i)})
+				m.observeQuery(i%numKinds, time.Duration(i)*time.Microsecond)
+				m.kernelWall.observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := m.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			validatePrometheus(t, sb.String())
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := validatePrometheus(t, sb.String())
+	var total float64
+	for _, s := range samples {
+		if s.name == "ccserve_query_duration_seconds_count" {
+			total += s.value
+		}
+	}
+	if total != 4*2000 {
+		t.Errorf("query histogram total count %v, want %d", total, 4*2000)
+	}
+	snap := m.Snapshot()
+	if snap.Words != snap.Msgs || snap.Words != 4*2000*3 {
+		t.Errorf("words %d msgs %d, want both %d", snap.Words, snap.Msgs, 4*2000*3)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
 
@@ -105,6 +106,16 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /graphs/{id}/sssp", s.handleSSSP)
 	s.mux.HandleFunc("POST /graphs/{id}/ksource", s.handleKSource)
 	s.mux.HandleFunc("POST /graphs/{id}/approx-sssp", s.handleApproxSSSP)
+	// Live profiling. Registered explicitly (the net/http/pprof side
+	// effect targets only http.DefaultServeMux): CPU/heap/goroutine
+	// profiles and execution traces of the serving daemon under
+	// /debug/pprof/, the standard `go tool pprof` target.
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	return s
 }
 
@@ -262,13 +273,19 @@ func (s *Server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ssspQueries.Add(1)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.observeQuery(kindSSSP, time.Since(start)) }()
 
 	k := algo.NewBellmanFordKernel(core.NodeID(req.Source))
-	if err := s.runExact(e, k); err != nil {
+	tel, err := s.runExact(e, k)
+	if err != nil {
 		s.queryFailed(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.SSSPResponse{Source: req.Source, Dist: k.Dist()})
+	writeJSON(w, http.StatusOK, api.SSSPResponse{
+		Source: req.Source, Dist: k.Dist(),
+		Rounds: tel.rounds, WallNanos: int64(tel.wall),
+	})
 }
 
 func (s *Server) handleKSource(w http.ResponseWriter, r *http.Request) {
@@ -296,30 +313,58 @@ func (s *Server) handleKSource(w http.ResponseWriter, r *http.Request) {
 	s.metrics.ksourceQueries.Add(1)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.observeQuery(kindKSource, time.Since(start)) }()
 
 	sources := make([]core.NodeID, len(req.Sources))
 	for i, src := range req.Sources {
 		sources[i] = core.NodeID(src)
 	}
 	k := algo.NewKSourceKernel(sources, h)
-	if err := s.runExact(e, k); err != nil {
+	tel, err := s.runExact(e, k)
+	if err != nil {
 		s.queryFailed(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.KSourceResponse{Sources: req.Sources, H: h, Dist: k.Dist()})
+	writeJSON(w, http.StatusOK, api.KSourceResponse{
+		Sources: req.Sources, H: h, Dist: k.Dist(),
+		Rounds: tel.rounds, WallNanos: int64(tel.wall),
+	})
 }
 
-// runExact runs one exact kernel under the graph's session lease.
-func (s *Server) runExact(e *graphEntry, k clique.Kernel) error {
+// runTelemetry is what one kernel run cost: the session stats deltas
+// the query handlers surface in their responses and the kernel-wall
+// histogram feeds on.
+type runTelemetry struct {
+	passes int
+	rounds int
+	wall   time.Duration
+}
+
+// runExact runs one exact kernel under the graph's session lease and
+// reports its cost.
+func (s *Server) runExact(e *graphEntry, k clique.Kernel) (runTelemetry, error) {
 	l, err := s.pool.acquire(e.info.Version, e.g)
 	if err != nil {
-		return err
+		return runTelemetry{}, err
 	}
 	defer l.release()
 	s.metrics.kernelRuns.Add(1)
+	sess := l.session()
+	before := sess.Stats()
 	// Queries run to completion even during shutdown: the HTTP layer's
 	// drain is the cancellation boundary.
-	return l.session().Run(context.Background(), k)
+	err = sess.Run(context.Background(), k)
+	after := sess.Stats()
+	tel := runTelemetry{
+		passes: after.Runs - before.Runs,
+		rounds: after.Engine.Rounds - before.Engine.Rounds,
+		wall:   after.Engine.Wall - before.Engine.Wall,
+	}
+	if err == nil {
+		s.metrics.kernelWall.observe(tel.wall)
+	}
+	return tel, err
 }
 
 // queryFailed maps a query execution error onto a response.
@@ -363,6 +408,8 @@ func (s *Server) handleApproxSSSP(w http.ResponseWriter, r *http.Request) {
 	s.metrics.approxQueries.Add(1)
 	s.metrics.inflight.Add(1)
 	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.observeQuery(kindApprox, time.Since(start)) }()
 
 	key := epsKeyOf(eps)
 	c := e.coalescerFor(key, func() *coalescer {
@@ -378,7 +425,7 @@ func (s *Server) handleApproxSSSP(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.ApproxSSSPResponse{
 		Source: req.Source, Eps: eps, Beta: out.beta, Dist: out.dist,
 		BatchSize: out.batch, CacheHit: out.cacheHit,
-		Passes: out.passes, Rounds: out.rounds,
+		Passes: out.passes, Rounds: out.rounds, WallNanos: int64(out.wall),
 	})
 }
 
@@ -426,6 +473,8 @@ func (s *Server) runApproxBatch(e *graphEntry, eps float64, key string, sources 
 	after := sess.Stats()
 	res.passes = after.Runs - before.Runs
 	res.rounds = after.Engine.Rounds - before.Engine.Rounds
+	res.wall = after.Engine.Wall - before.Engine.Wall
+	s.metrics.kernelWall.observe(res.wall)
 	s.metrics.observeBatch(len(sources), res.cacheHit)
 	return res, nil
 }

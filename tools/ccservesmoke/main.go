@@ -153,12 +153,18 @@ func smoke(ctx context.Context, bin string, n int, p float64, seed int64, eps fl
 		"ccserve_hopset_cache_hits_total 1",
 		"ccserve_sessions_active 1",
 		"ccserve_graphs_loaded 1",
+		// The latency histograms: one exact sssp observation, and a
+		// closing +Inf bucket proving the exposition is complete.
+		"ccserve_query_duration_seconds_count{kind=\"sssp\"} 1",
+		"ccserve_query_duration_seconds_bucket{kind=\"sssp\",le=\"+Inf\"} 1",
+		"ccserve_query_duration_seconds_count{kind=\"approx-sssp\"} 2",
+		"ccserve_kernel_wall_seconds_bucket{le=\"+Inf\"}",
 	} {
 		if !strings.Contains(metrics, series) {
 			return fmt.Errorf("/metrics missing %q", series)
 		}
 	}
-	fmt.Println("/metrics reports serving series")
+	fmt.Println("/metrics reports serving series and latency histograms")
 
 	// Clean shutdown: SIGTERM, drain, exit 0.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
