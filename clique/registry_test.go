@@ -8,6 +8,7 @@ import (
 
 	"github.com/paper-repo-growth/doryp20/clique"
 	"github.com/paper-repo-growth/doryp20/internal/algo"
+	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/graph"
 )
 
@@ -16,7 +17,8 @@ import (
 func TestRegistryListsAllShippedKernels(t *testing.T) {
 	got := clique.Kernels()
 	want := []string{"approx-ksource", "approx-sssp", "apsp", "bellman-ford", "bfs",
-		"hop-limited", "hopset", "ksource", "matmul-square"}
+		"closure", "diameter-est", "diameter-est-approx", "hop-limited", "hopset",
+		"ksource", "matmul-square", "mst", "widest", "widest-ksource"}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Kernels() = %v, want %v", got, want)
 	}
@@ -105,5 +107,40 @@ func TestDegenerateDistancesAreCorrect(t *testing.T) {
 	if dist, err := clique.ResultAs[[][]int64](run("apsp", edgeless)); err != nil ||
 		!reflect.DeepEqual(dist, wantAPSP) {
 		t.Errorf("apsp on edgeless = %v (%v)", dist, err)
+	}
+
+	// The PR-10 kernels: widest widths, reachability, forests, diameter.
+	iw := core.InfWidth
+	wantWidest := [][]int64{{iw, 0, 0, 0}, {0, iw, 0, 0}, {0, 0, iw, 0}, {0, 0, 0, iw}}
+	if width, err := clique.ResultAs[[][]int64](run("widest", edgeless)); err != nil ||
+		!reflect.DeepEqual(width, wantWidest) {
+		t.Errorf("widest on edgeless = %v (%v)", width, err)
+	}
+	two := graph.Path(2).WithUniformRandomWeights(3, 4)
+	if width, err := clique.ResultAs[[][]int64](run("widest", two)); err != nil ||
+		width[0][1] != two.Weights[0] || width[0][0] != iw {
+		t.Errorf("widest on two_connected = %v (%v)", width, err)
+	}
+	wantReach := [][]bool{{true, false, false, false}, {false, true, false, false},
+		{false, false, true, false}, {false, false, false, true}}
+	if reach, err := clique.ResultAs[[][]bool](run("closure", edgeless)); err != nil ||
+		!reflect.DeepEqual(reach, wantReach) {
+		t.Errorf("closure on edgeless = %v (%v)", reach, err)
+	}
+	if res, err := clique.ResultAs[algo.MSTResult](run("mst", two)); err != nil ||
+		res.Weight != two.Weights[0] || len(res.Edges) != 1 {
+		t.Errorf("mst on two_connected = %+v (%v)", res, err)
+	}
+	if res, err := clique.ResultAs[algo.MSTResult](run("mst", edgeless)); err != nil ||
+		res.Weight != 0 || len(res.Edges) != 0 {
+		t.Errorf("mst on edgeless = %+v (%v)", res, err)
+	}
+	if est, err := clique.ResultAs[algo.DiameterEstimate](run("diameter-est", one)); err != nil ||
+		est.Estimate != 0 {
+		t.Errorf("diameter-est on n=1 = %+v (%v)", est, err)
+	}
+	if est, err := clique.ResultAs[algo.DiameterEstimate](run("diameter-est", edgeless)); err != nil ||
+		est.Estimate != u {
+		t.Errorf("diameter-est on edgeless = %+v (%v)", est, err)
 	}
 }

@@ -1,8 +1,12 @@
 // ccbench runs the Congested Clique benchmark suite — the engine flood
-// workload, the matmul distance-product workload, and the hopset
-// workload (exact APSP versus hopset-based approximate SSSP) — and
+// workload, the matmul distance-product workload, the hopset workload
+// (exact APSP versus hopset-based approximate SSSP), and the
+// registered-kernels workload (the semiring-generalization kernels:
+// widest paths, transitive closure, MST, diameter estimation) — and
 // writes the machine-readable perf baselines tracked across PRs
-// (BENCH_engine.json, BENCH_matmul.json, BENCH_hopset.json). It also
+// (BENCH_engine.json, BENCH_matmul.json, BENCH_hopset.json,
+// BENCH_kernels.json; the kernels workload is opt-in via
+// -kernels-sizes). It also
 // fronts the clique kernel registry: -list prints every registered
 // kernel and -kernel runs one by name on a deterministic G(n,p)
 // instance through the session API.
@@ -12,6 +16,7 @@
 //	ccbench [-o BENCH_engine.json] [-sizes 64,256,1024] [-rounds 32] [-fanout 64]
 //	        [-matmul-o BENCH_matmul.json] [-matmul-sizes 64,256] [-matmul-p 0.1]
 //	        [-hopset-o BENCH_hopset.json] [-hopset-sizes 64,256,1024] [-hopset-p 0.05]
+//	        [-kernels-o BENCH_kernels.json] [-kernels-sizes 64,256]
 //	        [-short]
 //	ccbench -list
 //	ccbench -kernel <name> [-kernel-n 64] [-kernel-o report.json]
@@ -360,6 +365,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	hopsetOut := fs.String("hopset-o", "BENCH_hopset.json", "hopset report output path")
 	hopsetSizes := fs.String("hopset-sizes", "64,256,1024", "comma-separated clique sizes for the hopset workload (empty skips it)")
 	hopsetP := fs.Float64("hopset-p", 0.05, "G(n,p) edge probability for the hopset workload")
+	kernelsOut := fs.String("kernels-o", "BENCH_kernels.json", "kernels report output path")
+	kernelsSizes := fs.String("kernels-sizes", "", "comma-separated clique sizes for the registered-kernels workload (empty skips it)")
 	short := fs.Bool("short", false, "smoke mode: tiny workloads for CI")
 	list := fs.Bool("list", false, "print the registered clique kernels and exit")
 	kernel := fs.String("kernel", "", "run one registered kernel by name through the session API and exit")
@@ -489,6 +496,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ccbench: -hopset-p %v outside (0, 1]\n", *hopsetP)
 		return 2
 	}
+	ksizes, err := parseSizes(*kernelsSizes)
+	if err != nil {
+		fmt.Fprintln(stderr, "ccbench:", err)
+		return 2
+	}
 	if *progress && len(hsizes) == 0 {
 		fmt.Fprintln(stderr, "ccbench: -progress requires -kernel or a -hopset-sizes workload")
 		return 2
@@ -567,6 +579,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				r.N, r.Beta, r.Hubs, r.Eps, r.ExactRounds, r.ApproxRounds, r.RoundsRatio)
 		}
 		fmt.Fprintln(stdout, "wrote", *hopsetOut)
+	}
+
+	if len(ksizes) > 0 {
+		krep, err := bench.RunKernels(ksizes)
+		if err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		if err := bench.WriteJSON(*kernelsOut, krep); err != nil {
+			fmt.Fprintln(stderr, "ccbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "%-22s %-8s %-8s %-8s %-10s %-10s\n",
+			"kernel", "n", "passes", "rounds", "msgs", "ns/msg")
+		for _, r := range krep.Results {
+			fmt.Fprintf(stdout, "%-22s %-8d %-8d %-8d %-10d %-10.2f\n",
+				r.Name, r.N, r.Passes, r.Rounds, r.Messages, r.NsPerMsg)
+		}
+		fmt.Fprintln(stdout, "wrote", *kernelsOut)
 	}
 	return 0
 }

@@ -67,6 +67,8 @@ func TestBadSizeExitsNonZero(t *testing.T) {
 		{"-hopset-sizes", "1"},
 		{"-hopset-p", "0"},
 		{"-hopset-p", "NaN"},
+		{"-kernels-sizes", "1"},
+		{"-kernels-sizes", "64,potato"},
 	} {
 		code, _, stderr := runCC(t, args...)
 		if code != 2 {
@@ -190,7 +192,8 @@ func TestListPrintsRegisteredKernels(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
 	}
-	for _, want := range []string{"bfs", "bellman-ford", "apsp", "hop-limited", "ksource", "matmul-square"} {
+	for _, want := range []string{"bfs", "bellman-ford", "apsp", "hop-limited", "ksource", "matmul-square",
+		"widest", "widest-ksource", "closure", "mst", "diameter-est", "diameter-est-approx"} {
 		if !strings.Contains(stdout, want+"\n") {
 			t.Errorf("-list output lacks %q:\n%s", want, stdout)
 		}
@@ -214,6 +217,60 @@ func TestKernelRunsByName(t *testing.T) {
 	code, stdout, _ = runCC(t, "-kernel", "ksource", "-kernel-n", "12")
 	if code != 0 || !strings.Contains(stdout, "ksource") {
 		t.Fatalf("-kernel ksource: code=%d stdout:\n%s", code, stdout)
+	}
+	// The semiring-generalization kernels are runnable by name too.
+	for _, name := range []string{"widest", "closure", "mst", "diameter-est"} {
+		code, stdout, stderr = runCC(t, "-kernel", name, "-kernel-n", "12")
+		if code != 0 || !strings.Contains(stdout, name) {
+			t.Fatalf("-kernel %s: code=%d stdout:\n%s\nstderr:\n%s", name, code, stdout, stderr)
+		}
+	}
+}
+
+// TestKernelsReportWritten drives the opt-in registered-kernels
+// workload: one report entry per measured kernel per size, under the
+// kernels schema, with sane accounting.
+func TestKernelsReportWritten(t *testing.T) {
+	dir := t.TempDir()
+	kPath := filepath.Join(dir, "kernels.json")
+	code, stdout, stderr := runCC(t,
+		"-sizes", "", "-matmul-sizes", "", "-hopset-sizes", "",
+		"-kernels-sizes", "16", "-kernels-o", kPath)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote "+kPath) {
+		t.Fatalf("stdout does not report writing %s:\n%s", kPath, stdout)
+	}
+	data, err := os.ReadFile(kPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema  string `json:"schema"`
+		Results []struct {
+			Name   string `json:"name"`
+			N      int    `json:"n"`
+			Rounds int    `json:"rounds"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "doryp20/bench-kernels/v1" {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.N != 16 || r.Rounds == 0 {
+			t.Errorf("implausible entry %+v", r)
+		}
+		seen[r.Name] = true
+	}
+	for _, want := range []string{"widest", "widest-ksource", "closure", "mst", "diameter-est", "diameter-est-approx"} {
+		if !seen[want] {
+			t.Errorf("report lacks kernel %q (got %v)", want, seen)
+		}
 	}
 }
 

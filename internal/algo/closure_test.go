@@ -1,0 +1,72 @@
+package algo
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/paper-repo-growth/doryp20/internal/core"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+)
+
+// TestTransitiveClosureMatchesRef checks the boolean squaring kernel
+// bit for bit against per-source BFS reachability.
+func TestTransitiveClosureMatchesRef(t *testing.T) {
+	graphs := map[string]*graph.CSR{
+		"gnp_sparse":    graph.RandomGNP(18, 0.1, 3),
+		"gnp_dense":     graph.RandomGNP(12, 0.5, 5),
+		"gnp_weighted":  graph.RandomGNPWeighted(15, 0.2, 9, 8),
+		"path":          graph.Path(10),
+		"single":        graph.Path(1),
+		"edgeless":      graph.RandomGNP(7, 0, 1),
+		"two_component": twoComponents(),
+	}
+	for name, g := range graphs {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			k := NewTransitiveClosureKernel()
+			runKernel(t, g, k)
+			reach := k.Reach()
+			if reach == nil {
+				t.Fatal("no result after completion")
+			}
+			for src := 0; src < g.N; src++ {
+				want := ClosureRef(g, core.NodeID(src))
+				if !reflect.DeepEqual(reach[src], want) {
+					t.Fatalf("row %d: kernel %v, oracle %v", src, reach[src], want)
+				}
+			}
+		})
+	}
+}
+
+// twoComponents builds two disjoint paths in one graph, so closure has
+// genuinely unreachable cross-pairs.
+func twoComponents() *graph.CSR {
+	g, err := graph.LoadEdgeList(strings.NewReader(
+		"p 8\n0 1\n1 2\n2 3\n4 5\n5 6\n6 7\n"))
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestClosureIsReflexiveAndSymmetricOnUndirected pins structural
+// properties of the result: every vertex reaches itself, and on the
+// undirected graphs this repo models, reachability is symmetric.
+func TestClosureIsReflexiveAndSymmetricOnUndirected(t *testing.T) {
+	g := graph.RandomGNP(20, 0.12, 4)
+	k := NewTransitiveClosureKernel()
+	runKernel(t, g, k)
+	reach := k.Reach()
+	for u := range reach {
+		if !reach[u][u] {
+			t.Fatalf("vertex %d does not reach itself", u)
+		}
+		for v := range reach[u] {
+			if reach[u][v] != reach[v][u] {
+				t.Fatalf("reachability asymmetric on (%d,%d)", u, v)
+			}
+		}
+	}
+}

@@ -212,17 +212,25 @@ type powerState struct {
 // at most n-1 edges), so larger exponents would only spend engine
 // products on bit-identical results.
 func newPowerState(g *graph.CSR, h int) (*powerState, error) {
-	if limit := g.N - 1; h > limit {
+	a, err := minplusAdjacency(g)
+	if err != nil {
+		return nil, err
+	}
+	return newPowerStateOf(a, h), nil
+}
+
+// newPowerStateOf prepares the power a^h of an arbitrary reflexive
+// semiring matrix, clamping h to a.N-1 as newPowerState does. This is
+// the semiring-generic entry point: the widest-path pipeline powers a
+// (max,min) adjacency through it, closure a boolean one.
+func newPowerStateOf(a *matmul.Matrix, h int) *powerState {
+	if limit := a.N - 1; h > limit {
 		if limit < 0 {
 			limit = 0
 		}
 		h = limit
 	}
-	a, err := minplusAdjacency(g)
-	if err != nil {
-		return nil, err
-	}
-	return &powerState{n: g.N, e: h, base: a}, nil
+	return &powerState{n: a.N, e: h, base: a}
 }
 
 // harvest folds the completed in-flight pass (if any) back into the
@@ -287,10 +295,15 @@ func (ps *powerState) next() (*matmul.Pass, error) {
 }
 
 // matrix returns A^h after next has returned nil. h = 0 yields the
-// identity (every vertex at distance 0 from itself only).
+// identity in the base matrix's semiring (every vertex related only to
+// itself, with value One).
 func (ps *powerState) matrix() *matmul.Matrix {
 	if ps.result == nil {
-		return matmul.Identity(ps.n, core.MinPlus())
+		sr := core.MinPlus()
+		if ps.base != nil {
+			sr = ps.base.Sr
+		}
+		return matmul.Identity(ps.n, sr)
 	}
 	return ps.result
 }

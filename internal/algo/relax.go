@@ -24,12 +24,13 @@ type relaxState struct {
 }
 
 // newRelaxState prepares `remaining` relaxation products of s against
-// the indicator columns of the given sources (0 at the source — the
-// One of (min,+) — Inf elsewhere).
+// the indicator columns of the given sources in s's semiring: One at
+// the source (0 over (min,+), InfWidth over (max,min)), Zero
+// elsewhere.
 func newRelaxState(s *matmul.Matrix, sources []core.NodeID, remaining int) *relaxState {
-	b := matmul.NewDense(s.N, len(sources), core.MinPlus())
+	b := matmul.NewDense(s.N, len(sources), s.Sr)
 	for j, src := range sources {
-		b.Row(src)[j] = 0
+		b.Row(src)[j] = s.Sr.One
 	}
 	return &relaxState{s: s, cur: b, remaining: remaining}
 }
@@ -75,6 +76,25 @@ func (rs *relaxState) hint() int {
 		return 0
 	}
 	return rs.pass.MaxRoundsHint()
+}
+
+// valueRows transposes the final n x k columns into per-source rows of
+// raw semiring values, no sentinel translation — the harvest for
+// pipelines whose semiring has a directly meaningful Zero (the
+// (max,min) width 0 means "unreachable" on its own).
+func (rs *relaxState) valueRows() [][]int64 {
+	k := rs.cur.K
+	rows := make([][]int64, k)
+	for j := range rows {
+		rows[j] = make([]int64, rs.cur.N)
+	}
+	for v := 0; v < rs.cur.N; v++ {
+		row := rs.cur.Row(core.NodeID(v))
+		for j := 0; j < k; j++ {
+			rows[j][v] = row[j]
+		}
+	}
+	return rows
 }
 
 // distRows transposes the final n x k distance columns into per-source

@@ -16,6 +16,7 @@ import (
 
 	"github.com/paper-repo-growth/doryp20/clique"
 	"github.com/paper-repo-growth/doryp20/internal/ckptio"
+	"github.com/paper-repo-growth/doryp20/internal/core"
 	"github.com/paper-repo-growth/doryp20/internal/hopset"
 	"github.com/paper-repo-growth/doryp20/internal/matmul"
 )
@@ -342,6 +343,312 @@ func (k *ApproxKSourceKernel) RestoreState(r io.Reader) error {
 	}
 	if stage == 3 && rx != nil {
 		k.dist = rx.distRows()
+	}
+	return nil
+}
+
+// SnapshotState serializes the (max,min) repeated-squaring state,
+// mirroring APSPKernel's shape.
+func (k *WidestPathKernel) SnapshotState(w io.Writer) error {
+	if err := k.harvest(); err != nil {
+		return err
+	}
+	cw := ckptio.NewWriter(w)
+	cw.U64(kernelStateVersion)
+	cw.Bool(k.started)
+	cw.Bool(k.done)
+	cw.I64(int64(k.n))
+	cw.I64(int64(k.span))
+	matmul.WriteMatrix(cw, k.d)
+	cw.SumTrailer()
+	return cw.Err()
+}
+
+// RestoreState loads state written by SnapshotState into a fresh
+// kernel (clique.ErrKernelStarted otherwise), recomputing the width
+// rows when the blob captured a completed run.
+func (k *WidestPathKernel) RestoreState(r io.Reader) error {
+	if k.started || k.done {
+		return clique.ErrKernelStarted
+	}
+	cr := ckptio.NewReader(r)
+	if err := checkStateVersion(cr); err != nil {
+		return err
+	}
+	started := cr.Bool()
+	done := cr.Bool()
+	n := int(cr.I64())
+	span := int(cr.I64())
+	d, err := matmul.ReadMatrix(cr)
+	if err != nil {
+		return err
+	}
+	cr.VerifySumTrailer()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	k.started, k.done, k.n, k.span, k.d = started, done, n, span, d
+	if done && d != nil {
+		k.width = widthMatrix(d)
+	}
+	return nil
+}
+
+// SnapshotState serializes the boolean repeated-squaring state,
+// mirroring APSPKernel's shape.
+func (k *TransitiveClosureKernel) SnapshotState(w io.Writer) error {
+	if err := k.harvest(); err != nil {
+		return err
+	}
+	cw := ckptio.NewWriter(w)
+	cw.U64(kernelStateVersion)
+	cw.Bool(k.started)
+	cw.Bool(k.done)
+	cw.I64(int64(k.n))
+	cw.I64(int64(k.span))
+	matmul.WriteMatrix(cw, k.d)
+	cw.SumTrailer()
+	return cw.Err()
+}
+
+// RestoreState loads state written by SnapshotState into a fresh
+// kernel (clique.ErrKernelStarted otherwise), recomputing the
+// reachability rows when the blob captured a completed run.
+func (k *TransitiveClosureKernel) RestoreState(r io.Reader) error {
+	if k.started || k.done {
+		return clique.ErrKernelStarted
+	}
+	cr := ckptio.NewReader(r)
+	if err := checkStateVersion(cr); err != nil {
+		return err
+	}
+	started := cr.Bool()
+	done := cr.Bool()
+	n := int(cr.I64())
+	span := int(cr.I64())
+	d, err := matmul.ReadMatrix(cr)
+	if err != nil {
+		return err
+	}
+	cr.VerifySumTrailer()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	k.started, k.done, k.n, k.span, k.d = started, done, n, span, d
+	if done && d != nil {
+		k.reach = reachMatrix(d)
+	}
+	return nil
+}
+
+// SnapshotState serializes the widest-path two-stage pipeline state,
+// mirroring KSourceKernel's shape.
+func (k *WidestKSourceKernel) SnapshotState(w io.Writer) error {
+	if k.ps != nil {
+		if err := k.ps.harvest(); err != nil {
+			return err
+		}
+	}
+	if k.rx != nil {
+		if err := k.rx.harvest(); err != nil {
+			return err
+		}
+	}
+	cw := ckptio.NewWriter(w)
+	cw.U64(kernelStateVersion)
+	cw.I64(int64(k.stage))
+	cw.I64(int64(k.h))
+	cw.I64(int64(k.n))
+	cw.I64(int64(k.remaining))
+	cw.NodeIDs(k.sources)
+	writePowerState(cw, k.ps)
+	writeRelaxState(cw, k.rx)
+	cw.SumTrailer()
+	return cw.Err()
+}
+
+// RestoreState loads state written by SnapshotState into a fresh
+// kernel (clique.ErrKernelStarted otherwise), recomputing the width
+// rows for a completed-run blob.
+func (k *WidestKSourceKernel) RestoreState(r io.Reader) error {
+	if k.stage != 0 {
+		return clique.ErrKernelStarted
+	}
+	cr := ckptio.NewReader(r)
+	if err := checkStateVersion(cr); err != nil {
+		return err
+	}
+	stage := int(cr.I64())
+	h := int(cr.I64())
+	n := int(cr.I64())
+	remaining := int(cr.I64())
+	sources := cr.NodeIDs()
+	ps, err := readPowerState(cr)
+	if err != nil {
+		return err
+	}
+	rx, err := readRelaxState(cr)
+	if err != nil {
+		return err
+	}
+	cr.VerifySumTrailer()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	if stage < 1 || stage > 3 {
+		return fmt.Errorf("algo: %s state has implausible stage %d", k.Name(), stage)
+	}
+	k.stage, k.h, k.n, k.remaining, k.sources, k.ps, k.rx = stage, h, n, remaining, sources, ps, rx
+	if k.ps != nil {
+		k.ps.gather = k.gather
+	}
+	if k.rx != nil {
+		k.rx.gather = k.gather
+	}
+	if stage == 3 && rx != nil {
+		k.width = rx.valueRows()
+	}
+	return nil
+}
+
+// SnapshotState serializes the Borůvka state at a phase boundary: the
+// component labels and the forest accumulated so far. The harvest —
+// gathering leader choices and merging components — runs first, so the
+// blob never carries raw per-node pass state.
+func (k *MSTKernel) SnapshotState(w io.Writer) error {
+	if err := k.harvest(); err != nil {
+		return err
+	}
+	cw := ckptio.NewWriter(w)
+	cw.U64(kernelStateVersion)
+	cw.Bool(k.started)
+	cw.Bool(k.done)
+	cw.I64(int64(k.n))
+	cw.I64(k.weight)
+	cw.NodeIDs(k.comp)
+	flat := make([]int64, 0, 3*len(k.edges))
+	for _, e := range k.edges {
+		flat = append(flat, int64(e.U), int64(e.V), e.W)
+	}
+	cw.I64s(flat)
+	cw.SumTrailer()
+	return cw.Err()
+}
+
+// RestoreState loads state written by SnapshotState into a fresh
+// kernel (clique.ErrKernelStarted otherwise). The graph-derived fields
+// (adjacency, packing widths) are rebuilt by the first Nodes call on
+// the restored session, which re-runs start's validation against the
+// session graph.
+func (k *MSTKernel) RestoreState(r io.Reader) error {
+	if k.started || k.done {
+		return clique.ErrKernelStarted
+	}
+	cr := ckptio.NewReader(r)
+	if err := checkStateVersion(cr); err != nil {
+		return err
+	}
+	started := cr.Bool()
+	done := cr.Bool()
+	n := int(cr.I64())
+	weight := cr.I64()
+	comp := cr.NodeIDs()
+	flat := cr.I64s()
+	cr.VerifySumTrailer()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	if len(flat)%3 != 0 {
+		return fmt.Errorf("algo: %s state has a torn edge list (%d words)", k.Name(), len(flat))
+	}
+	if started && len(comp) != n {
+		return fmt.Errorf("algo: %s state has %d component labels for n = %d", k.Name(), len(comp), n)
+	}
+	edges := make([]MSTEdge, 0, len(flat)/3)
+	for i := 0; i+2 < len(flat); i += 3 {
+		edges = append(edges, MSTEdge{U: core.NodeID(flat[i]), V: core.NodeID(flat[i+1]), W: flat[i+2]})
+	}
+	k.started, k.done, k.n, k.weight, k.comp, k.edges = started, done, n, weight, comp, edges
+	return nil
+}
+
+// SnapshotState serializes the sampling header plus the embedded
+// k-source pipeline's own checkpoint blob (the ApproxKSourceKernel
+// nesting idiom).
+func (k *DiameterEstimateKernel) SnapshotState(w io.Writer) error {
+	cw := ckptio.NewWriter(w)
+	cw.U64(kernelStateVersion)
+	cw.String(k.name)
+	cw.Bool(k.started)
+	cw.Bool(k.done)
+	cw.I64(int64(k.sample))
+	cw.I64(k.seed)
+	cw.I64(int64(k.n))
+	cw.NodeIDs(k.sources)
+	hopset.WriteParams(cw, k.params)
+	if k.started && !k.done {
+		var inner writerBuffer
+		if err := k.inner().(clique.Checkpointable).SnapshotState(&inner); err != nil {
+			return err
+		}
+		cw.Blob(inner.buf)
+	} else {
+		cw.Blob(nil)
+	}
+	if k.done {
+		cw.I64(k.est.Estimate)
+		cw.I64s(k.est.Ecc)
+	}
+	cw.SumTrailer()
+	return cw.Err()
+}
+
+// RestoreState loads state written by SnapshotState into a fresh
+// kernel (clique.ErrKernelStarted otherwise), rebuilding and restoring
+// the embedded pipeline from its nested blob.
+func (k *DiameterEstimateKernel) RestoreState(r io.Reader) error {
+	if k.started || k.done {
+		return clique.ErrKernelStarted
+	}
+	cr := ckptio.NewReader(r)
+	if err := checkStateVersion(cr); err != nil {
+		return err
+	}
+	name := cr.String()
+	started := cr.Bool()
+	done := cr.Bool()
+	sample := int(cr.I64())
+	seed := cr.I64()
+	n := int(cr.I64())
+	sources := cr.NodeIDs()
+	params := hopset.ReadParams(cr)
+	innerBlob := cr.Blob()
+	var est DiameterEstimate
+	if done {
+		est = DiameterEstimate{Estimate: cr.I64(), Sources: sources, Ecc: cr.I64s()}
+	}
+	cr.VerifySumTrailer()
+	if err := cr.Err(); err != nil {
+		return err
+	}
+	if name != k.name {
+		return fmt.Errorf("algo: state is for kernel %q, not %q", name, k.name)
+	}
+	k.started, k.done, k.sample, k.seed, k.n, k.sources, k.params, k.est = started, done, sample, seed, n, sources, params, est
+	if len(innerBlob) > 0 {
+		if k.approx {
+			k.innerA = NewApproxKSourceKernel(sources, params)
+			k.innerA.SetGatherer(k.gather)
+			if err := k.innerA.RestoreState(byteReader(innerBlob)); err != nil {
+				return err
+			}
+		} else {
+			k.innerK = NewKSourceKernel(sources, core.Log2Ceil(n)+1)
+			k.innerK.SetGatherer(k.gather)
+			if err := k.innerK.RestoreState(byteReader(innerBlob)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

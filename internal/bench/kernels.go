@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/paper-repo-growth/doryp20/clique"
+	"github.com/paper-repo-growth/doryp20/internal/graph"
+
+	// Register the measured kernels with the clique registry.
+	_ "github.com/paper-repo-growth/doryp20/internal/algo"
+)
+
+// KernelNames is the fixed set the kernels workload measures: the
+// semiring-generalization kernels, one entry per registered name. The
+// older distance kernels have their own dedicated workloads
+// (BENCH_matmul.json, BENCH_hopset.json); this list tracks the surface
+// those don't cover.
+var KernelNames = []string{
+	"widest", "widest-ksource", "closure", "mst",
+	"diameter-est", "diameter-est-approx",
+}
+
+// KernelResult is one measured kernel run on a deterministic weighted
+// G(n, 0.15) instance through the session API.
+type KernelResult struct {
+	Name       string  `json:"name"`
+	N          int     `json:"n"`
+	Passes     int     `json:"passes"`
+	Rounds     int     `json:"rounds"`
+	Messages   uint64  `json:"messages"`
+	Bytes      uint64  `json:"bytes"`
+	WallNs     int64   `json:"wall_ns"`
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	NsPerMsg   float64 `json:"ns_per_msg"`
+}
+
+// KernelsReport is the serialized shape of BENCH_kernels.json.
+type KernelsReport struct {
+	Schema string `json:"schema"`
+	Host
+	Results []KernelResult `json:"results"`
+}
+
+// KernelRun measures one registered kernel by name on the same
+// deterministic instance family ccbench's -kernel mode uses.
+func KernelRun(name string, n int) (KernelResult, error) {
+	g := graph.RandomGNP(n, 0.15, 1).WithUniformRandomWeights(2, 16)
+	k, err := clique.NewKernel(name, g)
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("bench: kernel %s n=%d: %w", name, n, err)
+	}
+	s, err := clique.New(g)
+	if err != nil {
+		return KernelResult{}, fmt.Errorf("bench: kernel %s n=%d: %w", name, n, err)
+	}
+	defer s.Close()
+	if err := s.Run(context.Background(), k); err != nil {
+		return KernelResult{}, fmt.Errorf("bench: kernel %s n=%d: %w", name, n, err)
+	}
+	st := s.Stats()
+	secs := st.Engine.Wall.Seconds()
+	if secs <= 0 {
+		secs = float64(time.Nanosecond) / float64(time.Second)
+	}
+	res := KernelResult{
+		Name:     name,
+		N:        n,
+		Passes:   st.Runs,
+		Rounds:   st.Engine.Rounds,
+		Messages: st.Engine.TotalMsgs,
+		Bytes:    st.Engine.TotalBytes,
+		WallNs:   st.Engine.Wall.Nanoseconds(),
+	}
+	if st.Engine.TotalMsgs > 0 {
+		res.MsgsPerSec = float64(st.Engine.TotalMsgs) / secs
+		res.NsPerMsg = float64(st.Engine.Wall.Nanoseconds()) / float64(st.Engine.TotalMsgs)
+	}
+	return res, nil
+}
+
+// RunKernels measures every KernelNames kernel across the given clique
+// sizes and assembles the report.
+func RunKernels(sizes []int) (*KernelsReport, error) {
+	rep := &KernelsReport{
+		Schema: "doryp20/bench-kernels/v1",
+		Host:   CurrentHost(),
+	}
+	for _, n := range sizes {
+		for _, name := range KernelNames {
+			res, err := KernelRun(name, n)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, nil
+}

@@ -12,6 +12,14 @@ import (
 // applied, can never overflow int64.
 const InfWeight int64 = math.MaxInt64 / 4
 
+// InfWidth is the +infinity sentinel for bottleneck widths: the
+// multiplicative identity of the (max,min) semiring (the width of the
+// empty path is unbounded). Unlike InfWeight it must fit in the wire
+// value field of a packed (column, value) word — idxBits is at most 23
+// for any graph this package targets, leaving 41 value bits — so it is
+// 2^40 rather than MaxInt64/4. Edge widths must lie in [1, InfWidth).
+const InfWidth int64 = 1 << 40
+
 // Semiring is a commutative semiring over int64 entries, the algebraic
 // parameter of the sparse matrix subsystem (internal/matmul). A matrix
 // product over (Add, Mul) is C[i][j] = Add_k Mul(A[i][k], B[k][j]);
@@ -101,8 +109,53 @@ func SemiringByName(name string) (Semiring, error) {
 		return MinPlus(), nil
 	case "booland":
 		return BoolOrAnd(), nil
+	case "maxmin":
+		return MaxMin(), nil
 	}
-	return Semiring{}, fmt.Errorf("core: unknown semiring %q (known: minplus, booland)", name)
+	return Semiring{}, fmt.Errorf("core: unknown semiring %q (known: minplus, booland, maxmin)", name)
+}
+
+// AllSemirings returns every semiring this package defines, one
+// instance each. Generic property tests (semiring axioms, serialization
+// round-trips) iterate this list so a newly added semiring is covered
+// by construction; keep it in sync with SemiringByName.
+func AllSemirings() []Semiring {
+	return []Semiring{MinPlus(), BoolOrAnd(), MaxMin()}
+}
+
+// MaxMin returns the bottleneck (max,min) semiring over widths in
+// [0, InfWidth]: Add is max, Mul is min, Zero is 0 (an absent entry
+// means "no path", width zero), One is InfWidth (the empty path has
+// unbounded width). Matrix powers over MaxMin compute hop-limited
+// widest-path (maximum-bottleneck) values: the product entry
+// max_k min(A[i][k], B[k][j]) is the best bottleneck over one more hop.
+// Because Zero doubles as the absent-entry sentinel, edge widths must
+// be strictly positive; adjacency constructors for this semiring
+// enforce w >= 1.
+func MaxMin() Semiring {
+	return Semiring{
+		Name: "maxmin",
+		Zero: 0,
+		One:  InfWidth,
+		add: func(a, b int64) int64 {
+			if a > b {
+				return a
+			}
+			return b
+		},
+		mul: func(a, b int64) int64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		edgeValue: func(w int64, weighted bool) int64 {
+			if weighted {
+				return w
+			}
+			return 1
+		},
+	}
 }
 
 // BoolOrAnd returns the boolean (or,and) semiring over {0, 1}: Zero is

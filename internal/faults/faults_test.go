@@ -73,6 +73,23 @@ func checkpointableKernels(t *testing.T, g *graph.CSR) []string {
 	return names
 }
 
+// TestCheckpointableCoverage pins the set of kernels the crash/resume
+// sweep exercises. A newly registered kernel must either implement
+// clique.Checkpointable — in which case the sweep below picks it up
+// automatically and this list grows — or be added here deliberately
+// with a reason it cannot checkpoint. A mismatch in either direction
+// fails: silent shrinkage of fault coverage is exactly the regression
+// this test exists to catch.
+func TestCheckpointableCoverage(t *testing.T) {
+	got := checkpointableKernels(t, testGraph())
+	want := []string{"approx-ksource", "approx-sssp", "apsp", "closure",
+		"diameter-est", "diameter-est-approx", "hop-limited", "hopset",
+		"ksource", "mst", "widest", "widest-ksource"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("checkpointable kernels = %v, want %v", got, want)
+	}
+}
+
 // TestCrashResumeEquivalence is the headline robustness property: for
 // every registered Checkpointable kernel, a run killed by an injected
 // handler fault and resumed from its last checkpoint must produce

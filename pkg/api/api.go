@@ -15,6 +15,7 @@
 //	POST   /graphs/{id}/sssp         <- SSSPRequest, -> SSSPResponse
 //	POST   /graphs/{id}/ksource      <- KSourceRequest, -> KSourceResponse
 //	POST   /graphs/{id}/approx-sssp  <- ApproxSSSPRequest, -> ApproxSSSPResponse
+//	POST   /graphs/{id}/reachable    <- ReachableRequest, -> ReachableResponse
 //
 // Errors are returned with a 4xx/5xx status and an Error body.
 package api
@@ -105,6 +106,23 @@ type ApproxSSSPResponse struct {
 	WallNanos int64 `json:"wall_nanos"`
 }
 
+// ReachableRequest asks which vertices the source can reach.
+type ReachableRequest struct {
+	Source int64 `json:"source"`
+}
+
+// ReachableResponse carries one reachability bit per vertex. The first
+// query on a graph runs the transitive-closure kernel and caches the
+// full closure; later queries on the same graph answer from the cache
+// (CacheHit true, zero rounds).
+type ReachableResponse struct {
+	Source    int64  `json:"source"`
+	Reachable []bool `json:"reachable"`
+	Rounds    int    `json:"rounds"`
+	WallNanos int64  `json:"wall_nanos"`
+	CacheHit  bool   `json:"cache_hit"`
+}
+
 // GraphStats pairs a loaded graph with its serving session's
 // cumulative accounting, in the repository's one stable Stats
 // encoding (clique.Stats.MarshalJSON).
@@ -118,7 +136,7 @@ type GraphStats struct {
 type StatsResponse struct {
 	Graphs []GraphStats `json:"graphs"`
 	// Queries counts admitted queries by kind ("sssp", "ksource",
-	// "approx-sssp").
+	// "approx-sssp", "reachable").
 	Queries map[string]uint64 `json:"queries"`
 	// KernelRuns counts engine kernel executions; under coalescing it
 	// trails the approx-sssp query count.

@@ -1,7 +1,8 @@
 // Package client is the Go client for the ccserve HTTP API. It speaks
 // the pkg/api wire types to a running daemon and round-trips every
 // endpoint: graph management (LoadGraph/ListGraphs/GetGraph/
-// DeleteGraph), the three query kinds (SSSP, KSource, ApproxSSSP), and
+// DeleteGraph), the query kinds (SSSP, KSource, ApproxSSSP,
+// Reachable), and
 // the observability surface (Stats, Metrics, Healthz). Non-2xx
 // responses are surfaced as *APIError carrying the daemon's diagnostic.
 package client
@@ -160,6 +161,16 @@ func (c *Client) KSource(ctx context.Context, id string, sources []int64, h int)
 func (c *Client) ApproxSSSP(ctx context.Context, id string, source int64, eps float64) (api.ApproxSSSPResponse, error) {
 	var resp api.ApproxSSSPResponse
 	err := c.postJSON(ctx, "/graphs/"+url.PathEscape(id)+"/approx-sssp", api.ApproxSSSPRequest{Source: source, Eps: eps}, &resp)
+	return resp, err
+}
+
+// Reachable reports which vertices the source can reach. The daemon
+// answers the first query on a graph with a transitive-closure kernel
+// run and every later query from its cached closure (CacheHit true,
+// zero rounds).
+func (c *Client) Reachable(ctx context.Context, id string, source int64) (api.ReachableResponse, error) {
+	var resp api.ReachableResponse
+	err := c.postJSON(ctx, "/graphs/"+url.PathEscape(id)+"/reachable", api.ReachableRequest{Source: source}, &resp)
 	return resp, err
 }
 

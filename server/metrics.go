@@ -17,11 +17,12 @@ const (
 	kindSSSP = iota
 	kindKSource
 	kindApprox
+	kindReachable
 	numKinds
 )
 
 // kindLabels are the {kind=...} label values, in kind index order.
-var kindLabels = [numKinds]string{"sssp", "ksource", "approx-sssp"}
+var kindLabels = [numKinds]string{"sssp", "ksource", "approx-sssp", "reachable"}
 
 // durationBuckets are the histogram upper bounds in seconds: a
 // log-spaced 1-2.5-5 ladder from 500µs to 30s (plus the implicit +Inf
@@ -105,10 +106,11 @@ type Metrics struct {
 	wallNanos atomic.Uint64
 
 	// Query admission, by kind.
-	ssspQueries    atomic.Uint64
-	ksourceQueries atomic.Uint64
-	approxQueries  atomic.Uint64
-	queryErrors    atomic.Uint64
+	ssspQueries      atomic.Uint64
+	ksourceQueries   atomic.Uint64
+	approxQueries    atomic.Uint64
+	reachableQueries atomic.Uint64
+	queryErrors      atomic.Uint64
 
 	// Kernel executions: every session run the daemon performs. Under
 	// coalescing, kernelRuns grows slower than approxQueries.
@@ -172,6 +174,7 @@ func (m *Metrics) observeBatch(k int, cacheHit bool) {
 type Snapshot struct {
 	Rounds, Msgs, Words, Bytes, WallNanos      uint64
 	SSSPQueries, KSourceQueries, ApproxQueries uint64
+	ReachableQueries                           uint64
 	QueryErrors, KernelRuns                    uint64
 	Batches, BatchedQueries, BatchMax          uint64
 	CacheHits, CacheMisses                     uint64
@@ -185,7 +188,8 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rounds: m.rounds.Load(), Msgs: m.msgs.Load(), Words: m.words.Load(),
 		Bytes: m.bytes.Load(), WallNanos: m.wallNanos.Load(),
 		SSSPQueries: m.ssspQueries.Load(), KSourceQueries: m.ksourceQueries.Load(),
-		ApproxQueries: m.approxQueries.Load(), QueryErrors: m.queryErrors.Load(),
+		ApproxQueries: m.approxQueries.Load(), ReachableQueries: m.reachableQueries.Load(),
+		QueryErrors: m.queryErrors.Load(),
 		KernelRuns: m.kernelRuns.Load(),
 		Batches:    m.batches.Load(), BatchedQueries: m.batchedQueries.Load(),
 		BatchMax:  m.batchMax.Load(),
@@ -213,6 +217,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"ccserve_queries_total{kind=\"sssp\"}", "Admitted queries by kind.", "counter", s.SSSPQueries},
 		{"ccserve_queries_total{kind=\"ksource\"}", "", "", s.KSourceQueries},
 		{"ccserve_queries_total{kind=\"approx-sssp\"}", "", "", s.ApproxQueries},
+		{"ccserve_queries_total{kind=\"reachable\"}", "", "", s.ReachableQueries},
 		{"ccserve_query_errors_total", "Queries that failed after admission.", "counter", s.QueryErrors},
 		{"ccserve_kernel_runs_total", "Kernel executions on pooled sessions (coalescing makes this trail approx-sssp queries).", "counter", s.KernelRuns},
 		{"ccserve_coalesced_batches_total", "Batched approx-sssp kernel runs.", "counter", s.Batches},

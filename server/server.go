@@ -106,6 +106,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /graphs/{id}/sssp", s.handleSSSP)
 	s.mux.HandleFunc("POST /graphs/{id}/ksource", s.handleKSource)
 	s.mux.HandleFunc("POST /graphs/{id}/approx-sssp", s.handleApproxSSSP)
+	s.mux.HandleFunc("POST /graphs/{id}/reachable", s.handleReachable)
 	// Live profiling. Registered explicitly (the net/http/pprof side
 	// effect targets only http.DefaultServeMux): CPU/heap/goroutine
 	// profiles and execution traces of the serving daemon under
@@ -166,6 +167,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"sssp":        snap.SSSPQueries,
 			"ksource":     snap.KSourceQueries,
 			"approx-sssp": snap.ApproxQueries,
+			"reachable":   snap.ReachableQueries,
 		},
 		KernelRuns: snap.KernelRuns,
 	}
@@ -426,6 +428,68 @@ func (s *Server) handleApproxSSSP(w http.ResponseWriter, r *http.Request) {
 		Source: req.Source, Eps: eps, Beta: out.beta, Dist: out.dist,
 		BatchSize: out.batch, CacheHit: out.cacheHit,
 		Passes: out.passes, Rounds: out.rounds, WallNanos: int64(out.wall),
+	})
+}
+
+// handleReachable answers reachability queries from the graph's cached
+// transitive closure, constructing it with one TransitiveClosureKernel
+// run on first use. The closure is ε-free and source-independent, so a
+// single cached [][]bool serves every later query on the graph with
+// zero engine rounds.
+func (s *Server) handleReachable(w http.ResponseWriter, r *http.Request) {
+	e := s.store.get(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "server: unknown graph %q", r.PathValue("id"))
+		return
+	}
+	var req api.ReachableRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := checkSources(e, []int64{req.Source}); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.reachableQueries.Add(1)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+	start := time.Now()
+	defer func() { s.metrics.observeQuery(kindReachable, time.Since(start)) }()
+
+	// The closure cache, like the hopset cache, is guarded by the
+	// graph's session lease — acquire it even on the hit path.
+	l, err := s.pool.acquire(e.info.Version, e.g)
+	if err != nil {
+		s.queryFailed(w, err)
+		return
+	}
+	var tel runTelemetry
+	cacheHit := e.closure != nil
+	if !cacheHit {
+		k := algo.NewTransitiveClosureKernel()
+		s.metrics.kernelRuns.Add(1)
+		sess := l.session()
+		before := sess.Stats()
+		err := sess.Run(context.Background(), k)
+		after := sess.Stats()
+		if err != nil {
+			l.release()
+			s.queryFailed(w, err)
+			return
+		}
+		tel = runTelemetry{
+			passes: after.Runs - before.Runs,
+			rounds: after.Engine.Rounds - before.Engine.Rounds,
+			wall:   after.Engine.Wall - before.Engine.Wall,
+		}
+		s.metrics.kernelWall.observe(tel.wall)
+		e.closure = k.Reach()
+	}
+	row := e.closure[req.Source]
+	l.release()
+	writeJSON(w, http.StatusOK, api.ReachableResponse{
+		Source: req.Source, Reachable: row,
+		Rounds: tel.rounds, WallNanos: int64(tel.wall), CacheHit: cacheHit,
 	})
 }
 

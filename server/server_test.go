@@ -234,6 +234,79 @@ func TestHopsetCacheSteadyState(t *testing.T) {
 	}
 }
 
+// TestReachableMatchesOracleAndCaches checks the reachability endpoint
+// against BellmanFordRef-derived reachability, and that the second
+// query — any source — answers from the cached closure with zero
+// rounds, with the metrics surfaces recording both queries.
+func TestReachableMatchesOracleAndCaches(t *testing.T) {
+	srv, c := newTestDaemon(t, Options{})
+	ctx := context.Background()
+	// Two disjoint paths: real unreachable pairs.
+	g, err := graph.LoadEdgeList(strings.NewReader("p 9\n0 1\n1 2\n2 3\n4 5\n5 6\n6 7\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := upload(t, c, "reach", g)
+
+	first, err := c.Reachable(ctx, id, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first reachable query reported a cache hit")
+	}
+	if first.Rounds == 0 {
+		t.Error("first reachable query reports zero rounds")
+	}
+	dist := algo.BellmanFordRef(g.WithUnitWeights(), 2)
+	for v, r := range first.Reachable {
+		if want := dist[v] >= 0; r != want {
+			t.Errorf("reachable[%d] = %v, oracle %v", v, r, want)
+		}
+	}
+
+	second, err := c.Reachable(ctx, id, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit || second.Rounds != 0 {
+		t.Errorf("second query: cacheHit=%v rounds=%d, want cached zero-round answer",
+			second.CacheHit, second.Rounds)
+	}
+	dist6 := algo.BellmanFordRef(g.WithUnitWeights(), 6)
+	for v, r := range second.Reachable {
+		if want := dist6[v] >= 0; r != want {
+			t.Errorf("cached reachable[%d] = %v, oracle %v", v, r, want)
+		}
+	}
+
+	if snap := srv.Metrics().Snapshot(); snap.ReachableQueries != 2 {
+		t.Errorf("reachable query counter = %d, want 2", snap.ReachableQueries)
+	}
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "ccserve_queries_total{kind=\"reachable\"} 2\n") {
+		t.Error("/metrics does not report the reachable queries")
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries["reachable"] != 2 {
+		t.Errorf("stats reachable total = %d, want 2", st.Queries["reachable"])
+	}
+
+	var apiErr *client.APIError
+	if _, err := c.Reachable(ctx, id, 99); !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Errorf("out-of-range source: %v, want 400", err)
+	}
+	if _, err := c.Reachable(ctx, "nope", 0); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Errorf("unknown graph: %v, want 404", err)
+	}
+}
+
 // TestMetricsAndStatsSurfaces scrapes /metrics and /stats after a mix
 // of queries and checks the accounting lines are present and sane.
 func TestMetricsAndStatsSurfaces(t *testing.T) {

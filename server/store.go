@@ -25,6 +25,12 @@ type graphEntry struct {
 	// while holding the graph's lease.
 	hopsets map[string]*hopsetCache
 
+	// closure caches the graph's full transitive closure after the
+	// first reachability query — reachability has no ε, so one line per
+	// graph suffices. Like hopsets, it is only touched while holding
+	// the graph's session lease.
+	closure [][]bool
+
 	// coalsMu guards coals, the per-ε admission coalescers.
 	coalsMu sync.Mutex
 	coals   map[string]*coalescer

@@ -2,7 +2,8 @@
 // daemon: it execs a built ccserve binary on an ephemeral port, drives
 // it through pkg/client — upload a seeded G(n, p) graph, exact sssp
 // diffed against the sequential Bellman-Ford oracle, two approximate
-// queries proving the hopset cache hits on the second, a /metrics
+// queries proving the hopset cache hits on the second, two
+// reachability queries proving the closure cache hits, a /metrics
 // scrape checked for the serving series — then sends SIGTERM and
 // asserts the daemon drains and exits 0.
 //
@@ -141,6 +142,30 @@ func smoke(ctx context.Context, bin string, n int, p float64, seed int64, eps fl
 	fmt.Printf("approx-sssp within (1+%g), cache hit on query 2 (passes %d -> %d)\n",
 		eps, first.Passes, second.Passes)
 
+	// Two reachability queries: the first runs the transitive-closure
+	// kernel, the second answers from the cached closure with zero
+	// rounds; both must agree with the oracle's reachability bits.
+	r1, err := c.Reachable(ctx, info.ID, 0)
+	if err != nil {
+		return fmt.Errorf("reachable #1: %w", err)
+	}
+	if r1.CacheHit {
+		return fmt.Errorf("first reachable query claims a cache hit")
+	}
+	r2, err := c.Reachable(ctx, info.ID, 0)
+	if err != nil {
+		return fmt.Errorf("reachable #2: %w", err)
+	}
+	if !r2.CacheHit || r2.Rounds != 0 {
+		return fmt.Errorf("second reachable query not cached (hit=%v rounds=%d)", r2.CacheHit, r2.Rounds)
+	}
+	for v, r := range r1.Reachable {
+		if want := want[v] >= 0; r != want || r2.Reachable[v] != want {
+			return fmt.Errorf("reachable vertex %d: daemon %v/%v, oracle %v", v, r, r2.Reachable[v], want)
+		}
+	}
+	fmt.Println("reachability matches oracle, closure cache hit on query 2")
+
 	// The metrics surface must expose the serving series.
 	metrics, err := c.Metrics(ctx)
 	if err != nil {
@@ -150,6 +175,7 @@ func smoke(ctx context.Context, bin string, n int, p float64, seed int64, eps fl
 		"ccserve_engine_rounds_total",
 		"ccserve_queries_total{kind=\"sssp\"} 1",
 		"ccserve_queries_total{kind=\"approx-sssp\"} 2",
+		"ccserve_queries_total{kind=\"reachable\"} 2",
 		"ccserve_hopset_cache_hits_total 1",
 		"ccserve_sessions_active 1",
 		"ccserve_graphs_loaded 1",
